@@ -1,0 +1,151 @@
+package dqs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunSpecValidation(t *testing.T) {
+	if _, err := Run(RunSpec{}); err == nil {
+		t.Error("nil workload accepted")
+	}
+	w, err := Fig5Small(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := RunSpec{Workload: w, Config: DefaultConfig(), Strategy: "NOPE"}
+	if _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "unknown strategy") {
+		t.Errorf("unknown strategy: err = %v", err)
+	}
+	bad := DefaultConfig()
+	bad.BatchTuples = -1
+	if _, err := Run(RunSpec{Workload: w, Config: bad, Strategy: SEQ}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestUniformDeliveriesCoversEveryWrapper(t *testing.T) {
+	w, err := Fig5Small(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := UniformDeliveries(w, 20*time.Microsecond)
+	if len(del) != 6 {
+		t.Fatalf("got %d deliveries", len(del))
+	}
+	for _, name := range Relations(w) {
+		if del[name].MeanWait != 20*time.Microsecond {
+			t.Errorf("%s wait = %v", name, del[name].MeanWait)
+		}
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	w, err := Fig5Small(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderPlan(w); !strings.Contains(out, "hash-join") {
+		t.Errorf("RenderPlan = %q", out)
+	}
+	chains, err := RenderChains(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"p_A", "p_B", "p_C", "p_D", "p_E", "p_F"} {
+		if !strings.Contains(chains, want) {
+			t.Errorf("RenderChains missing %s", want)
+		}
+	}
+}
+
+func TestCardinalityLookup(t *testing.T) {
+	w, err := Fig5Small(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Cardinality(w, "A")
+	if err != nil || n != 15000 {
+		t.Errorf("Cardinality(A) = %d, %v", n, err)
+	}
+	if _, err := Cardinality(w, "Z"); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if got := ExpectedRows(w); got <= 0 {
+		t.Errorf("ExpectedRows = %v", got)
+	}
+}
+
+func TestRunConcurrentValidation(t *testing.T) {
+	w, err := Fig5Small(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	mk := func(label string) QueryRun {
+		return QueryRun{Label: label, Workload: w, Deliveries: UniformDeliveries(w, time.Microsecond)}
+	}
+	if _, err := RunConcurrent(cfg, nil); err == nil {
+		t.Error("empty query list accepted")
+	}
+	if _, err := RunConcurrent(cfg, []QueryRun{mk("")}); err == nil {
+		t.Error("empty label accepted")
+	}
+	if _, err := RunConcurrent(cfg, []QueryRun{mk("a"), mk("a")}); err == nil {
+		t.Error("duplicate labels accepted")
+	}
+	if _, err := RunConcurrent(cfg, []QueryRun{{Label: "a"}}); err == nil {
+		t.Error("nil workload accepted")
+	}
+	bad := cfg
+	bad.QueueTuples = 0
+	if _, err := RunConcurrent(bad, []QueryRun{mk("a")}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunConcurrentSingleMatchesRun(t *testing.T) {
+	w, err := Fig5Small(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	del := UniformDeliveries(w, 20*time.Microsecond)
+	single, err := Run(RunSpec{Workload: w, Config: cfg, Strategy: DSE, Deliveries: del})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := RunConcurrent(cfg, []QueryRun{{Label: "only", Workload: w, Deliveries: del}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi[0].OutputRows != single.OutputRows {
+		t.Errorf("concurrent single-query rows %d != Run rows %d", multi[0].OutputRows, single.OutputRows)
+	}
+}
+
+func TestStrategiesOrder(t *testing.T) {
+	s := Strategies()
+	if len(s) != 3 || s[0] != SEQ || s[1] != MA || s[2] != DSE {
+		t.Errorf("Strategies = %v", s)
+	}
+}
+
+func TestLowerBoundPositive(t *testing.T) {
+	w, err := Fig5Small(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lwb, err := LowerBound(RunSpec{
+		Workload:   w,
+		Config:     DefaultConfig(),
+		Deliveries: UniformDeliveries(w, 20*time.Microsecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lwb <= 0 {
+		t.Errorf("LWB = %v", lwb)
+	}
+}

@@ -1,0 +1,244 @@
+package dqs
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"dqs/internal/experiment"
+)
+
+// The benchmarks regenerate every table and figure of the paper at 1/10
+// scale with one repetition (go run ./cmd/dqsbench regenerates them at full
+// scale with the paper's three repetitions). Each bench reports the headline
+// quantity of its table/figure as a custom metric, so `go test -bench=.`
+// doubles as a compact reproduction report.
+
+func benchOptions() experiment.Options {
+	return experiment.Options{Seeds: []int64{1}, Small: true}
+}
+
+// BenchmarkTable1Params regenerates Table 1 (the simulation parameter
+// table).
+func BenchmarkTable1Params(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		experiment.Table1(io.Discard, o.ExecConfig())
+	}
+}
+
+// BenchmarkFig5PlanBuild regenerates Figure 5: workload assembly, plan
+// construction and pipeline-chain decomposition.
+func BenchmarkFig5PlanBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiment.Fig5(io.Discard, benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSlowOne runs a Figure 6/7 sweep and reports the DSE gain over SEQ at
+// the largest slowdown.
+func benchSlowOne(b *testing.B, rel string) {
+	b.Helper()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.SlowOne(benchOptions(), rel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(fig.X) - 1
+		seq, dse := fig.Get("SEQ")[last], fig.Get("DSE")[last]
+		gain = (seq - dse) / seq * 100
+	}
+	b.ReportMetric(gain, "gain%")
+}
+
+// BenchmarkFig6SlowA regenerates Figure 6 (relation A slowed).
+func BenchmarkFig6SlowA(b *testing.B) { benchSlowOne(b, "A") }
+
+// BenchmarkFig7SlowF regenerates Figure 7 (relation F slowed).
+func BenchmarkFig7SlowF(b *testing.B) { benchSlowOne(b, "F") }
+
+// BenchmarkFig8WminSweep regenerates Figure 8 and reports the peak DSE gain
+// over SEQ across the w_min sweep.
+func BenchmarkFig8WminSweep(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.Fig8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = 0
+		for _, g := range fig.Get("gain(%)") {
+			if g > peak {
+				peak = g
+			}
+		}
+	}
+	b.ReportMetric(peak, "peak-gain%")
+}
+
+// BenchmarkPositionSweep regenerates the §5.2 position experiment and
+// reports the spread of SEQ response times across slowed-relation
+// positions.
+func BenchmarkPositionSweep(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.PositionSweep(benchOptions(), 0.6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq := fig.Get("SEQ")
+		lo, hi := seq[0], seq[0]
+		for _, v := range seq {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		spread = hi - lo
+	}
+	b.ReportMetric(spread, "seq-spread-s")
+}
+
+// BenchmarkDelayClasses regenerates the §1.2/§5.4 delay-class comparison
+// (SEQ vs scrambling vs DSE) and reports DSE's worst-class gain over SEQ.
+func BenchmarkDelayClasses(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.DelayClasses(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq, dse := fig.Get("SEQ"), fig.Get("DSE")
+		worst = 100.0
+		for j := range seq {
+			if g := (seq[j] - dse[j]) / seq[j] * 100; g < worst {
+				worst = g
+			}
+		}
+	}
+	b.ReportMetric(worst, "min-gain%")
+}
+
+// BenchmarkMultiQuery regenerates the §6 multi-query experiment and
+// reports the 4-query throughput speedup over serial execution.
+func BenchmarkMultiQuery(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.MultiQuery(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := fig.Get("speedup")
+		speedup = s[len(s)-1]
+	}
+	b.ReportMetric(speedup, "speedup-4q")
+}
+
+// BenchmarkStarSweep regenerates the star-schema scenario and reports the
+// DSE gain over SEQ at the slowest dimension setting.
+func BenchmarkStarSweep(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.StarSweep(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(fig.X) - 1
+		seq, dse := fig.Get("SEQ")[last], fig.Get("DSE")[last]
+		gain = (seq - dse) / seq * 100
+	}
+	b.ReportMetric(gain, "gain%")
+}
+
+// BenchmarkAblationBMT sweeps the benefit-materialization threshold.
+func BenchmarkAblationBMT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblationBMT(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBatch sweeps the DQP batch size.
+func BenchmarkAblationBatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblationBatch(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationQueue sweeps the wrapper window size.
+func BenchmarkAblationQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblationQueue(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMessage sweeps the message payload.
+func BenchmarkAblationMessage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblationMessage(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSkew sweeps systematic optimizer estimation error.
+func BenchmarkAblationSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblationSkew(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMemory sweeps the memory grant.
+func BenchmarkAblationMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblationMemory(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchStrategy measures engine throughput: virtual seconds simulated per
+// wall second for one strategy on the small workload with one slowed
+// wrapper.
+func benchStrategy(b *testing.B, s Strategy) {
+	b.Helper()
+	w, err := Fig5Small(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	del := UniformDeliveries(w, 20*time.Microsecond)
+	del["A"] = Delivery{MeanWait: 100 * time.Microsecond}
+	spec := RunSpec{Workload: w, Config: cfg, Strategy: s, Deliveries: del}
+	var virtual time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual = res.ResponseTime
+	}
+	b.ReportMetric(virtual.Seconds(), "virtual-s/run")
+}
+
+// BenchmarkStrategySEQ measures the SEQ engine.
+func BenchmarkStrategySEQ(b *testing.B) { benchStrategy(b, SEQ) }
+
+// BenchmarkStrategyMA measures the MA engine.
+func BenchmarkStrategyMA(b *testing.B) { benchStrategy(b, MA) }
+
+// BenchmarkStrategyDSE measures the DSE engine (scheduler included).
+func BenchmarkStrategyDSE(b *testing.B) { benchStrategy(b, DSE) }

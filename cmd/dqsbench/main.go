@@ -1,0 +1,145 @@
+// Command dqsbench regenerates every table and figure of the paper's
+// evaluation, plus the reproduction's ablation studies.
+//
+// Usage:
+//
+//	dqsbench [-exp all|table1|fig5|fig6|fig7|fig8|position|ablations] \
+//	         [-reps N] [-small] [-csv] [-chart]
+//
+// Output is the same rows/series the paper plots; -csv additionally emits
+// machine-readable data, and -chart draws crude ASCII charts of the shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dqs/internal/experiment"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, fig8, position, delays, multiquery, star, ablations, ablation-bmt, ablation-batch, ablation-queue, ablation-message, ablation-skew, ablation-memory")
+		reps  = flag.Int("reps", 3, "measurement repetitions (paper: 3)")
+		small = flag.Bool("small", false, "run at 1/10 scale (fast)")
+		csv   = flag.Bool("csv", false, "also print CSV data")
+		chart = flag.Bool("chart", false, "also draw ASCII charts")
+	)
+	flag.Parse()
+	if err := run(*exp, *reps, *small, *csv, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "dqsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, reps int, small, csv, chart bool) error {
+	o := experiment.DefaultOptions()
+	o.Small = small
+	o.Seeds = o.Seeds[:0]
+	for i := 1; i <= reps; i++ {
+		o.Seeds = append(o.Seeds, int64(i))
+	}
+	out := os.Stdout
+
+	show := func(fig *experiment.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		fig.Print(out)
+		if chart {
+			fig.Chart(out, 64, 16)
+		}
+		if csv {
+			fmt.Fprintln(out, fig.CSV())
+		}
+		return nil
+	}
+
+	want := func(name string) bool { return exp == "all" || exp == name }
+	wantAblation := func(name string) bool {
+		return exp == "all" || exp == "ablations" || exp == "ablation-"+name
+	}
+
+	start := time.Now()
+	if want("table1") {
+		experiment.Table1(out, o.ExecConfig())
+	}
+	if want("fig5") {
+		if err := experiment.Fig5(out, o); err != nil {
+			return err
+		}
+	}
+	if want("fig6") {
+		if err := show(experiment.Fig6(o)); err != nil {
+			return fmt.Errorf("fig6: %w", err)
+		}
+	}
+	if want("fig7") {
+		if err := show(experiment.Fig7(o)); err != nil {
+			return fmt.Errorf("fig7: %w", err)
+		}
+	}
+	if want("fig8") {
+		if err := show(experiment.Fig8(o)); err != nil {
+			return fmt.Errorf("fig8: %w", err)
+		}
+	}
+	if want("position") {
+		retrieval := 6.0
+		if small {
+			retrieval = 0.6
+		}
+		if err := show(experiment.PositionSweep(o, retrieval)); err != nil {
+			return fmt.Errorf("position: %w", err)
+		}
+	}
+	if want("delays") {
+		if err := show(experiment.DelayClasses(o)); err != nil {
+			return fmt.Errorf("delays: %w", err)
+		}
+	}
+	if want("multiquery") {
+		if err := show(experiment.MultiQuery(o)); err != nil {
+			return fmt.Errorf("multiquery: %w", err)
+		}
+	}
+	if want("star") {
+		if err := show(experiment.StarSweep(o)); err != nil {
+			return fmt.Errorf("star: %w", err)
+		}
+	}
+	if wantAblation("bmt") {
+		if err := show(experiment.AblationBMT(o)); err != nil {
+			return fmt.Errorf("ablation-bmt: %w", err)
+		}
+	}
+	if wantAblation("batch") {
+		if err := show(experiment.AblationBatch(o)); err != nil {
+			return fmt.Errorf("ablation-batch: %w", err)
+		}
+	}
+	if wantAblation("queue") {
+		if err := show(experiment.AblationQueue(o)); err != nil {
+			return fmt.Errorf("ablation-queue: %w", err)
+		}
+	}
+	if wantAblation("message") {
+		if err := show(experiment.AblationMessage(o)); err != nil {
+			return fmt.Errorf("ablation-message: %w", err)
+		}
+	}
+	if wantAblation("skew") {
+		if err := show(experiment.AblationSkew(o)); err != nil {
+			return fmt.Errorf("ablation-skew: %w", err)
+		}
+	}
+	if wantAblation("memory") {
+		if err := show(experiment.AblationMemory(o)); err != nil {
+			return fmt.Errorf("ablation-memory: %w", err)
+		}
+	}
+	fmt.Fprintf(out, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,123 @@
+// Command dqsrun executes one query under one strategy and reports the run
+// summary, optionally with the full scheduling trace — planning phases,
+// scheduling plans, degradations, stalls, fragment completions.
+//
+// Usage:
+//
+//	dqsrun [-strategy SEQ|MA|DSE|SCR] [-small] [-slow REL=RETRIEVAL_SECONDS]...
+//	       [-wmin DUR] [-mem MB] [-bmt F] [-trace] [-gantt] [-seed N]
+//
+// Example: watch DSE degrade the blocked chains while wrapper A crawls,
+// with a Gantt chart of fragment lifetimes:
+//
+//	dqsrun -strategy DSE -small -slow A=2 -gantt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dqs"
+	"dqs/internal/sim"
+	"dqs/internal/traceview"
+)
+
+type slowFlags map[string]float64
+
+func (s slowFlags) String() string { return fmt.Sprint(map[string]float64(s)) }
+
+func (s slowFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want REL=SECONDS, got %q", v)
+	}
+	secs, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || secs < 0 {
+		return fmt.Errorf("bad retrieval seconds in %q", v)
+	}
+	s[parts[0]] = secs
+	return nil
+}
+
+func main() {
+	slow := slowFlags{}
+	var (
+		strategy = flag.String("strategy", "DSE", "execution strategy: SEQ, MA, DSE or SCR")
+		small    = flag.Bool("small", false, "1/10-scale workload")
+		wmin     = flag.Duration("wmin", 20*time.Microsecond, "baseline per-tuple waiting time of every wrapper")
+		memMB    = flag.Float64("mem", 64, "memory grant in MB")
+		bmt      = flag.Float64("bmt", 1, "benefit materialization threshold")
+		trace    = flag.Bool("trace", false, "dump the execution trace")
+		gantt    = flag.Bool("gantt", false, "draw a Gantt chart of fragment lifetimes")
+		seed     = flag.Int64("seed", 1, "random seed (data and delays)")
+	)
+	flag.Var(slow, "slow", "slow one relation: REL=RETRIEVAL_SECONDS (repeatable)")
+	flag.Parse()
+	if err := run(*strategy, *small, *wmin, *memMB, *bmt, *trace, *gantt, *seed, slow); err != nil {
+		fmt.Fprintln(os.Stderr, "dqsrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, trace, gantt bool, seed int64, slow slowFlags) error {
+	var (
+		w   *dqs.Workload
+		err error
+	)
+	if small {
+		w, err = dqs.Fig5Small(seed)
+	} else {
+		w, err = dqs.Fig5(seed)
+	}
+	if err != nil {
+		return err
+	}
+	cfg := dqs.DefaultConfig()
+	cfg.Seed = seed
+	cfg.MemoryBytes = int64(memMB * (1 << 20))
+	cfg.BMT = bmt
+	cfg.InitialWaitEstimate = wmin
+	var tr *sim.Trace
+	if trace || gantt {
+		tr = &sim.Trace{}
+		cfg.Trace = tr
+	}
+	del := dqs.UniformDeliveries(w, wmin)
+	for rel, secs := range slow {
+		card, err := dqs.Cardinality(w, rel)
+		if err != nil {
+			return err
+		}
+		del[rel] = dqs.Delivery{MeanWait: time.Duration(secs / float64(card) * float64(time.Second))}
+	}
+	spec := dqs.RunSpec{Workload: w, Config: cfg, Strategy: dqs.Strategy(strategy), Deliveries: del}
+	lwb, err := dqs.LowerBound(spec)
+	if err != nil {
+		return err
+	}
+	res, err := dqs.Run(spec)
+	if err != nil {
+		return err
+	}
+	if trace {
+		if err := tr.Dump(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if gantt {
+		if err := traceview.Gantt(os.Stdout, tr, 72); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	fmt.Println(res)
+	fmt.Printf("LWB=%.3fs  total-work=%.3fs  peak-mem=%.1fMB  replans=%d degradations=%d timeouts=%d mem-repairs=%d\n",
+		lwb.Seconds(), res.TotalWork().Seconds(), float64(res.PeakMemBytes)/(1<<20),
+		res.Replans, res.Degradations, res.Timeouts, res.MemRepairs)
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSlowFlagsParse(t *testing.T) {
+	s := slowFlags{}
+	if err := s.Set("A=2.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("F=0"); err != nil {
+		t.Fatal(err)
+	}
+	if s["A"] != 2.5 || s["F"] != 0 {
+		t.Errorf("parsed = %v", s)
+	}
+	for _, bad := range []string{"A", "A=", "A=x", "A=-1", "=2"} {
+		if err := s.Set(bad); err == nil && bad != "=2" {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestRunSmallestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the engine")
+	}
+	// Exercise the full command path (flag wiring aside) on the small
+	// workload with every strategy.
+	const wmin = 20 * time.Microsecond
+	for _, strat := range []string{"SEQ", "MA", "DSE", "SCR"} {
+		if err := run(strat, true, wmin, 64, 1, false, false, 1, slowFlags{"A": 0.5}); err != nil {
+			t.Errorf("%s: %v", strat, err)
+		}
+	}
+	if err := run("BOGUS", true, wmin, 64, 1, false, false, 1, nil); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := run("SEQ", true, wmin, 64, 1, false, false, 1, slowFlags{"ZZ": 1}); err == nil {
+		t.Error("unknown slow relation accepted")
+	}
+}

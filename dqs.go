@@ -1,0 +1,230 @@
+// Package dqs is a reproduction of "Dynamic Query Scheduling in Data
+// Integration Systems" (Bouganim, Fabret, Mohan, Valduriez — ICDE 2000):
+// a mediator query engine over autonomous wrappers with unpredictable data
+// delivery, executing bushy hash-join plans with three strategies —
+//
+//   - SEQ: the classic iterator model (one pipeline chain at a time),
+//   - MA:  materialize-all (drain every wrapper to local disk, then run),
+//   - DSE: the paper's dynamic scheduling execution — a Dynamic Query
+//     Scheduler orders query fragments by critical degree and degrades
+//     critical blocked chains into materialization + complement fragments,
+//     while a Dynamic Query Processor interleaves the scheduled fragments
+//     batch by batch, reacting instantly to delivery gaps.
+//
+// Everything runs on a deterministic virtual-time cost simulator configured
+// by the paper's Table 1 parameters, so experiments are exactly repeatable.
+//
+// Quick start:
+//
+//	w, _ := dqs.Fig5(1)
+//	spec := dqs.RunSpec{
+//		Workload:   w,
+//		Config:     dqs.DefaultConfig(),
+//		Strategy:   dqs.DSE,
+//		Deliveries: dqs.UniformDeliveries(w, 20*time.Microsecond),
+//	}
+//	res, _ := dqs.Run(spec)
+//	fmt.Println(res)
+package dqs
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/core"
+	"dqs/internal/exec"
+	"dqs/internal/plan"
+	"dqs/internal/relation"
+	"dqs/internal/sim"
+	"dqs/internal/workload"
+)
+
+// Re-exported building blocks. Aliases keep one canonical definition in the
+// internal packages while giving users a single import.
+type (
+	// Config carries every execution knob (Table 1 costs, memory grant,
+	// batch size, bmt, ...).
+	Config = exec.Config
+	// Delivery describes one wrapper's simulated delivery behaviour.
+	Delivery = exec.Delivery
+	// Result summarizes one query execution.
+	Result = exec.Result
+	// Workload bundles catalog, query, statistics, plan and dataset.
+	Workload = workload.Workload
+	// Params is the simulation cost table.
+	Params = sim.Params
+	// Trace records execution events.
+	Trace = sim.Trace
+)
+
+// Strategy selects an execution strategy.
+type Strategy string
+
+// Available strategies. SEQ, MA and DSE are the paper's evaluation; the
+// extensions implement the two alternatives the paper's introduction
+// discusses: SCR is phase-1 query scrambling (§1.2, the timeout-driven
+// scheduling-level reaction) and DPHJ is the double-pipelined symmetric
+// hash join (§1.1, the operator-level reaction, at roughly double the
+// memory footprint).
+const (
+	SEQ  Strategy = "SEQ"
+	MA   Strategy = "MA"
+	DSE  Strategy = "DSE"
+	SCR  Strategy = "SCR"
+	DPHJ Strategy = "DPHJ"
+)
+
+// Strategies lists the paper's strategies in presentation order.
+func Strategies() []Strategy { return []Strategy{SEQ, MA, DSE} }
+
+// AllStrategies additionally includes the scrambling and symmetric-join
+// extensions.
+func AllStrategies() []Strategy { return []Strategy{SEQ, MA, DSE, SCR, DPHJ} }
+
+// DefaultConfig returns the configuration of the paper's experiments.
+func DefaultConfig() Config { return exec.DefaultConfig() }
+
+// DefaultParams returns the Table 1 simulation parameters.
+func DefaultParams() Params { return sim.DefaultParams() }
+
+// Fig5 builds the paper's Figure-5 experiment workload (six wrappers,
+// five-way join).
+func Fig5(seed int64) (*Workload, error) { return workload.Fig5(seed) }
+
+// Fig5Small builds a 1/10-scale Figure-5 workload for fast experimentation.
+func Fig5Small(seed int64) (*Workload, error) { return workload.Fig5Small(seed) }
+
+// UniformDeliveries assigns the same mean waiting time to every wrapper of
+// the workload.
+func UniformDeliveries(w *Workload, wait time.Duration) map[string]Delivery {
+	out := make(map[string]Delivery, w.Catalog.Len())
+	for _, name := range w.Catalog.Names() {
+		out[name] = Delivery{MeanWait: wait}
+	}
+	return out
+}
+
+// RunSpec describes one execution.
+type RunSpec struct {
+	Workload   *Workload
+	Config     Config
+	Strategy   Strategy
+	Deliveries map[string]Delivery
+}
+
+// newRuntime assembles the runtime of a spec.
+func newRuntime(spec RunSpec) (*exec.Runtime, error) {
+	if spec.Workload == nil {
+		return nil, fmt.Errorf("dqs: RunSpec.Workload is nil")
+	}
+	return exec.NewRuntime(spec.Config, spec.Workload.Root, spec.Workload.Dataset, spec.Deliveries)
+}
+
+// Run executes the spec and returns the run summary.
+func Run(spec RunSpec) (Result, error) {
+	rt, err := newRuntime(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	switch spec.Strategy {
+	case SEQ:
+		return exec.RunSEQ(rt)
+	case MA:
+		return exec.RunMA(rt)
+	case DSE:
+		return core.RunDSE(rt)
+	case SCR:
+		return exec.RunScramble(rt)
+	case DPHJ:
+		return exec.RunDPHJ(rt)
+	default:
+		return Result{}, fmt.Errorf("dqs: unknown strategy %q", spec.Strategy)
+	}
+}
+
+// QueryRun is one query of a concurrent execution.
+type QueryRun struct {
+	// Label names the query (used in traces and wrapper scoping); must be
+	// unique and non-empty.
+	Label      string
+	Workload   *Workload
+	Deliveries map[string]Delivery
+}
+
+// RunConcurrent executes several queries concurrently on one shared
+// mediator under a single global dynamic scheduler (the paper's §6
+// multi-query direction): fragments of all queries compete by critical
+// degree for the CPU, the memory grant and the local disk. It returns
+// per-query results in input order; each ResponseTime is the instant that
+// query's last result tuple was produced.
+func RunConcurrent(cfg Config, queries []QueryRun) ([]Result, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("dqs: no queries")
+	}
+	med, err := exec.NewMediator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(queries))
+	rts := make([]*exec.Runtime, 0, len(queries))
+	for _, q := range queries {
+		if q.Label == "" {
+			return nil, fmt.Errorf("dqs: concurrent queries need non-empty labels")
+		}
+		if seen[q.Label] {
+			return nil, fmt.Errorf("dqs: duplicate query label %q", q.Label)
+		}
+		seen[q.Label] = true
+		if q.Workload == nil {
+			return nil, fmt.Errorf("dqs: query %q has no workload", q.Label)
+		}
+		rt, err := med.AddQuery(q.Label, q.Workload.Root, q.Workload.Dataset, q.Deliveries)
+		if err != nil {
+			return nil, fmt.Errorf("dqs: query %q: %w", q.Label, err)
+		}
+		rts = append(rts, rt)
+	}
+	return core.RunMultiDSE(med, rts)
+}
+
+// LowerBound computes the paper's analytic response-time lower bound LWB
+// for the spec's workload and deliveries.
+func LowerBound(spec RunSpec) (time.Duration, error) {
+	rt, err := newRuntime(spec)
+	if err != nil {
+		return 0, err
+	}
+	return exec.LWB(rt), nil
+}
+
+// RenderPlan returns an ASCII rendering of the workload's physical plan.
+func RenderPlan(w *Workload) string { return plan.Render(w.Root) }
+
+// RenderChains returns the pipeline-chain decomposition of the workload's
+// plan, with the direct ancestor (blocking) relation.
+func RenderChains(w *Workload) (string, error) {
+	dec, err := plan.Decompose(w.Root)
+	if err != nil {
+		return "", err
+	}
+	return dec.String(), nil
+}
+
+// ExpectedRows returns the statistical expectation of the workload's result
+// size.
+func ExpectedRows(w *Workload) float64 { return w.Root.EstRows }
+
+// Relations returns the workload's relation names in sorted order.
+func Relations(w *Workload) []string { return w.Catalog.Names() }
+
+// Cardinality returns the cardinality of one workload relation.
+func Cardinality(w *Workload, name string) (int, error) {
+	r, ok := w.Catalog.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("dqs: unknown relation %q", name)
+	}
+	return r.Cardinality, nil
+}
+
+// Tuple is the row representation flowing through the engine.
+type Tuple = relation.Tuple

@@ -1,0 +1,55 @@
+// Slowsource reproduces the paper's §5.2 study in miniature: it slows down
+// one relation at a time and shows how the slowed relation's position in
+// the plan changes each strategy's response time — the key observation
+// being that a slow relation whose chain blocks others (A) hurts more than
+// one that blocks nothing, and that DSE absorbs both far better than SEQ
+// and MA.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dqs"
+)
+
+func main() {
+	w, err := dqs.Fig5Small(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dqs.DefaultConfig()
+	const wmin = 20 * time.Microsecond
+	const retrieval = 1.5 // seconds to fully retrieve the slowed relation
+
+	fmt.Printf("Slowing each wrapper to a %.1fs total retrieval time:\n\n", retrieval)
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "slowed", "SEQ(s)", "MA(s)", "DSE(s)", "LWB(s)")
+	for _, name := range dqs.Relations(w) {
+		card, err := dqs.Cardinality(w, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		deliveries := dqs.UniformDeliveries(w, wmin)
+		deliveries[name] = dqs.Delivery{
+			MeanWait: time.Duration(retrieval / float64(card) * float64(time.Second)),
+		}
+		spec := dqs.RunSpec{Workload: w, Config: cfg, Deliveries: deliveries}
+		lwb, err := dqs.LowerBound(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := fmt.Sprintf("%-8s", name)
+		for _, s := range dqs.Strategies() {
+			spec.Strategy = s
+			res, err := dqs.Run(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf(" %10.3f", res.ResponseTime.Seconds())
+		}
+		fmt.Printf("%s %10.3f\n", row, lwb.Seconds())
+	}
+	fmt.Println("\nA (blocks half the plan) hurts every strategy more than C (blocks")
+	fmt.Println("nothing); DSE stays closest to the lower bound throughout.")
+}

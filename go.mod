@@ -1,0 +1,3 @@
+module dqs
+
+go 1.22

@@ -1,0 +1,114 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Manager is the communication manager (CM) of paper §3.1: it owns the
+// per-wrapper queues, keeps the delivery-rate estimates current, and detects
+// significant rate changes relative to the estimates the scheduler planned
+// with.
+type Manager struct {
+	queues map[string]*Queue
+
+	// planned holds, per wrapper, the waiting-time estimate in force when
+	// the current scheduling plan was computed; used for RateChange
+	// detection.
+	planned map[string]time.Duration
+
+	// ChangeFactor is the ratio beyond which a waiting-time drift is
+	// significant (paper: "any significant change"). Default 2.
+	ChangeFactor float64
+
+	// MinObservations gates change detection until the estimator has seen
+	// enough arrivals to be trusted.
+	MinObservations int64
+}
+
+// NewManager returns a CM with no queues yet.
+func NewManager() *Manager {
+	return &Manager{
+		queues:          make(map[string]*Queue),
+		planned:         make(map[string]time.Duration),
+		ChangeFactor:    2,
+		MinObservations: 64,
+	}
+}
+
+// Register creates (and returns) the queue for the named wrapper.
+func (m *Manager) Register(name string, capacity int) *Queue {
+	if _, dup := m.queues[name]; dup {
+		panic(fmt.Sprintf("comm: wrapper %q registered twice", name))
+	}
+	q := NewQueue(name, capacity)
+	m.queues[name] = q
+	return q
+}
+
+// Queue returns the queue of the named wrapper.
+func (m *Manager) Queue(name string) (*Queue, bool) {
+	q, ok := m.queues[name]
+	return q, ok
+}
+
+// Names returns the registered wrapper names in sorted order.
+func (m *Manager) Names() []string {
+	names := make([]string, 0, len(m.queues))
+	for n := range m.queues {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Observe refreshes every rate estimator with the arrivals visible at time
+// now.
+func (m *Manager) Observe(now time.Duration) {
+	for _, q := range m.queues {
+		q.ObserveArrivals(now)
+	}
+}
+
+// Wait returns the CM's best current estimate of the waiting time of the
+// named wrapper, falling back to fallback when too few arrivals have been
+// observed.
+func (m *Manager) Wait(name string, fallback time.Duration) time.Duration {
+	q, ok := m.queues[name]
+	if !ok {
+		return fallback
+	}
+	if w, ok := q.EstimatedWait(); ok {
+		return w
+	}
+	return fallback
+}
+
+// SnapshotPlanned records the estimates the scheduler is about to plan
+// with; subsequent RateChanged calls compare against this baseline.
+func (m *Manager) SnapshotPlanned(fallback func(name string) time.Duration) {
+	for name := range m.queues {
+		m.planned[name] = m.Wait(name, fallback(name))
+	}
+}
+
+// RateChanged reports the first wrapper whose current estimate deviates
+// from the planned baseline by more than ChangeFactor, or "" if none does.
+func (m *Manager) RateChanged() string {
+	for _, name := range m.Names() {
+		q := m.queues[name]
+		cur, ok := q.EstimatedWait()
+		if !ok || q.est.Observations() < m.MinObservations {
+			continue
+		}
+		base, planned := m.planned[name]
+		if !planned {
+			continue
+		}
+		if SignificantChange(base, cur, m.ChangeFactor) {
+			return name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,228 @@
+// Package comm implements the mediator side of the wrapper communication
+// protocol: one bounded tuple queue per wrapper (the "window protocol" of
+// paper §2.1, after DB2/MVS), plus the communication manager that estimates
+// per-wrapper delivery rates and signals significant changes to the engine.
+package comm
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dqs/internal/relation"
+)
+
+// Producer is the upstream side of a queue: the simulated wrapper. When the
+// consumer pops a tuple out of a full queue, the freed slot un-suspends the
+// wrapper, which may then send more tuples; Resume gives it the opportunity,
+// telling it the virtual time of the pop and how far production may be
+// simulated.
+type Producer interface {
+	Resume(now time.Duration)
+}
+
+type queued struct {
+	tuple   relation.Tuple
+	arrival time.Duration
+}
+
+// Queue is the bounded arrival buffer of one wrapper. Tuples carry their
+// virtual arrival timestamps; the consumer only sees tuples whose arrival is
+// not in its future. When the queue is full the wrapper is suspended
+// (window protocol) until the consumer pops.
+type Queue struct {
+	name     string
+	capacity int
+	items    []queued // ring buffer
+	head     int
+	size     int
+
+	producer Producer
+	est      *RateEstimator
+	observed int // ring-relative count of arrivals already fed to est
+
+	pops        int64
+	totalPopped int64
+}
+
+// NewQueue creates a queue with room for capacity tuples.
+func NewQueue(name string, capacity int) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("comm: queue %q: capacity must be positive, got %d", name, capacity))
+	}
+	return &Queue{
+		name:     name,
+		capacity: capacity,
+		items:    make([]queued, capacity),
+		est:      NewRateEstimator(defaultEWMAAlpha),
+	}
+}
+
+// Name returns the wrapper name this queue buffers for.
+func (q *Queue) Name() string { return q.name }
+
+// SetProducer attaches the wrapper that fills this queue.
+func (q *Queue) SetProducer(p Producer) { q.producer = p }
+
+// Capacity returns the queue size in tuples.
+func (q *Queue) Capacity() int { return q.capacity }
+
+// Len returns the number of buffered tuples (including ones whose arrival
+// time is still in the consumer's future).
+func (q *Queue) Len() int { return q.size }
+
+// Full reports whether the window is exhausted.
+func (q *Queue) Full() bool { return q.size == q.capacity }
+
+// Push appends a tuple with its arrival time. It panics if the queue is
+// full or arrivals go backwards: both indicate a wrapper simulation bug.
+func (q *Queue) Push(t relation.Tuple, arrival time.Duration) {
+	if q.Full() {
+		panic(fmt.Sprintf("comm: queue %q: push on full queue", q.name))
+	}
+	if q.size > 0 {
+		if last := q.items[(q.head+q.size-1)%q.capacity].arrival; arrival < last {
+			panic(fmt.Sprintf("comm: queue %q: arrival went backwards: %v < %v", q.name, arrival, last))
+		}
+	}
+	q.items[(q.head+q.size)%q.capacity] = queued{tuple: t, arrival: arrival}
+	q.size++
+}
+
+// Available returns how many buffered tuples have arrived by time now.
+func (q *Queue) Available(now time.Duration) int {
+	n := 0
+	for i := 0; i < q.size; i++ {
+		if q.items[(q.head+i)%q.capacity].arrival > now {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// NextArrival returns the arrival time of the oldest buffered tuple, or
+// false if the queue is empty.
+func (q *Queue) NextArrival() (time.Duration, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	return q.items[q.head].arrival, true
+}
+
+// Pop removes and returns the oldest tuple. It panics if the tuple has not
+// arrived by now or the queue is empty: the engine must check Available
+// first. Popping frees a window slot, so the producer is resumed.
+func (q *Queue) Pop(now time.Duration) relation.Tuple {
+	if q.size == 0 {
+		panic(fmt.Sprintf("comm: queue %q: pop on empty queue", q.name))
+	}
+	it := q.items[q.head]
+	if it.arrival > now {
+		panic(fmt.Sprintf("comm: queue %q: pop of future tuple (arrival %v > now %v)", q.name, it.arrival, now))
+	}
+	q.items[q.head] = queued{}
+	q.head = (q.head + 1) % q.capacity
+	q.size--
+	if q.observed > 0 {
+		q.observed--
+	}
+	q.pops++
+	q.totalPopped++
+	if q.producer != nil {
+		q.producer.Resume(now)
+	}
+	return it.tuple
+}
+
+// ObserveArrivals feeds the rate estimator every buffered arrival that has
+// happened by now and was not fed before. The communication manager calls
+// this as the engine's clock advances, so estimation is causal: the CM never
+// peeks at future arrivals.
+func (q *Queue) ObserveArrivals(now time.Duration) {
+	for q.observed < q.size {
+		it := q.items[(q.head+q.observed)%q.capacity]
+		if it.arrival > now {
+			return
+		}
+		q.est.Observe(it.arrival)
+		q.observed++
+	}
+}
+
+// EstimatedWait returns the current estimate of the mean inter-arrival time
+// (the paper's waiting time w_p) and whether enough observations exist.
+func (q *Queue) EstimatedWait() (time.Duration, bool) { return q.est.Mean() }
+
+// TotalPopped returns the number of tuples consumed from this queue.
+func (q *Queue) TotalPopped() int64 { return q.totalPopped }
+
+const defaultEWMAAlpha = 0.05
+
+// RateEstimator tracks a smoothed mean inter-arrival time with an
+// exponentially weighted moving average.
+type RateEstimator struct {
+	alpha float64
+	last  time.Duration
+	mean  float64 // seconds
+	n     int64
+}
+
+// NewRateEstimator returns an estimator with the given smoothing factor in
+// (0, 1]; larger alpha reacts faster.
+func NewRateEstimator(alpha float64) *RateEstimator {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("comm: EWMA alpha must be in (0,1], got %v", alpha))
+	}
+	return &RateEstimator{alpha: alpha}
+}
+
+// Observe records one arrival instant.
+func (e *RateEstimator) Observe(at time.Duration) {
+	if e.n > 0 {
+		gap := (at - e.last).Seconds()
+		if gap < 0 {
+			gap = 0
+		}
+		if e.n == 1 {
+			e.mean = gap
+		} else {
+			e.mean = e.alpha*gap + (1-e.alpha)*e.mean
+		}
+	}
+	e.last = at
+	e.n++
+}
+
+// Mean returns the smoothed inter-arrival time. The boolean is false until
+// at least two arrivals (one gap) have been observed.
+func (e *RateEstimator) Mean() (time.Duration, bool) {
+	if e.n < 2 {
+		return 0, false
+	}
+	return time.Duration(e.mean * float64(time.Second)), true
+}
+
+// Observations returns the number of arrivals seen.
+func (e *RateEstimator) Observations() int64 { return e.n }
+
+// SignificantChange reports whether two waiting-time estimates differ by
+// more than the given factor (either direction). Zero estimates are treated
+// as equal to avoid division blowups on instantaneous sources.
+func SignificantChange(old, new time.Duration, factor float64) bool {
+	if factor <= 1 {
+		factor = 1
+	}
+	a, b := old.Seconds(), new.Seconds()
+	if a == 0 && b == 0 {
+		return false
+	}
+	if a == 0 || b == 0 {
+		return true
+	}
+	r := a / b
+	if r < 1 {
+		r = 1 / r
+	}
+	return r > factor && math.Abs(a-b) > 1e-9
+}

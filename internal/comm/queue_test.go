@@ -1,0 +1,239 @@
+package comm
+
+import (
+	"testing"
+	"time"
+
+	"dqs/internal/relation"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestQueuePushPopFIFO(t *testing.T) {
+	q := NewQueue("w", 4)
+	q.Push(relation.Tuple{1}, ms(1))
+	q.Push(relation.Tuple{2}, ms(2))
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if got := q.Pop(ms(5)); got[0] != 1 {
+		t.Errorf("first pop = %v", got)
+	}
+	if got := q.Pop(ms(5)); got[0] != 2 {
+		t.Errorf("second pop = %v", got)
+	}
+}
+
+func TestQueueAvailabilityRespectsArrivalTimes(t *testing.T) {
+	q := NewQueue("w", 4)
+	q.Push(relation.Tuple{1}, ms(10))
+	q.Push(relation.Tuple{2}, ms(20))
+	q.Push(relation.Tuple{3}, ms(30))
+	if got := q.Available(ms(5)); got != 0 {
+		t.Errorf("Available(5ms) = %d", got)
+	}
+	if got := q.Available(ms(20)); got != 2 {
+		t.Errorf("Available(20ms) = %d", got)
+	}
+	if got := q.Available(ms(99)); got != 3 {
+		t.Errorf("Available(99ms) = %d", got)
+	}
+	if at, ok := q.NextArrival(); !ok || at != ms(10) {
+		t.Errorf("NextArrival = %v,%v", at, ok)
+	}
+}
+
+func TestQueuePanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("pop empty", func() { NewQueue("w", 2).Pop(0) })
+	mustPanic("pop future", func() {
+		q := NewQueue("w", 2)
+		q.Push(relation.Tuple{1}, ms(50))
+		q.Pop(ms(10))
+	})
+	mustPanic("push full", func() {
+		q := NewQueue("w", 1)
+		q.Push(relation.Tuple{1}, 0)
+		q.Push(relation.Tuple{2}, 0)
+	})
+	mustPanic("backwards arrival", func() {
+		q := NewQueue("w", 2)
+		q.Push(relation.Tuple{1}, ms(10))
+		q.Push(relation.Tuple{2}, ms(5))
+	})
+	mustPanic("zero capacity", func() { NewQueue("w", 0) })
+}
+
+type resumeRecorder struct{ calls []time.Duration }
+
+func (r *resumeRecorder) Resume(now time.Duration) { r.calls = append(r.calls, now) }
+
+func TestQueuePopResumesProducer(t *testing.T) {
+	q := NewQueue("w", 2)
+	rec := &resumeRecorder{}
+	q.SetProducer(rec)
+	q.Push(relation.Tuple{1}, ms(1))
+	q.Pop(ms(7))
+	if len(rec.calls) != 1 || rec.calls[0] != ms(7) {
+		t.Errorf("Resume calls = %v", rec.calls)
+	}
+}
+
+func TestQueueRingWraparound(t *testing.T) {
+	q := NewQueue("w", 3)
+	at := time.Duration(0)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			at += ms(1)
+			q.Push(relation.Tuple{int64(round*3 + i)}, at)
+		}
+		for i := 0; i < 3; i++ {
+			got := q.Pop(at)
+			if got[0] != int64(round*3+i) {
+				t.Fatalf("round %d pop %d = %v", round, i, got)
+			}
+		}
+	}
+	if q.TotalPopped() != 30 {
+		t.Errorf("TotalPopped = %d", q.TotalPopped())
+	}
+}
+
+func TestRateEstimatorEWMA(t *testing.T) {
+	e := NewRateEstimator(0.5)
+	if _, ok := e.Mean(); ok {
+		t.Error("estimator reported a mean with no observations")
+	}
+	e.Observe(0)
+	if _, ok := e.Mean(); ok {
+		t.Error("estimator reported a mean after one observation")
+	}
+	e.Observe(ms(10)) // first gap: 10ms
+	if m, ok := e.Mean(); !ok || m != ms(10) {
+		t.Errorf("mean after first gap = %v,%v", m, ok)
+	}
+	e.Observe(ms(30)) // gap 20ms: mean = 0.5*20 + 0.5*10 = 15ms
+	if m, _ := e.Mean(); m != ms(15) {
+		t.Errorf("EWMA mean = %v, want 15ms", m)
+	}
+	if e.Observations() != 3 {
+		t.Errorf("Observations = %d", e.Observations())
+	}
+}
+
+func TestRateEstimatorAlphaValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v accepted", alpha)
+				}
+			}()
+			NewRateEstimator(alpha)
+		}()
+	}
+}
+
+func TestObserveArrivalsIsCausalAndIncremental(t *testing.T) {
+	q := NewQueue("w", 8)
+	q.Push(relation.Tuple{1}, ms(10))
+	q.Push(relation.Tuple{2}, ms(20))
+	q.Push(relation.Tuple{3}, ms(300))
+	q.ObserveArrivals(ms(25)) // sees two arrivals → one gap
+	if m, ok := q.EstimatedWait(); !ok || m != ms(10) {
+		t.Errorf("estimate after 2 arrivals = %v,%v, want 10ms", m, ok)
+	}
+	// Re-observing must not double count.
+	q.ObserveArrivals(ms(25))
+	if m, _ := q.EstimatedWait(); m != ms(10) {
+		t.Errorf("re-observation changed estimate to %v", m)
+	}
+}
+
+func TestSignificantChange(t *testing.T) {
+	cases := []struct {
+		old, new time.Duration
+		factor   float64
+		want     bool
+	}{
+		{ms(10), ms(10), 2, false},
+		{ms(10), ms(25), 2, true},
+		{ms(25), ms(10), 2, true},
+		{ms(10), ms(19), 2, false},
+		{0, 0, 2, false},
+		{0, ms(5), 2, true},
+		{ms(5), 0, 2, true},
+		{ms(10), ms(15), 1, true}, // factor clamped to 1: any change significant
+	}
+	for _, tc := range cases {
+		if got := SignificantChange(tc.old, tc.new, tc.factor); got != tc.want {
+			t.Errorf("SignificantChange(%v, %v, %v) = %v, want %v", tc.old, tc.new, tc.factor, got, tc.want)
+		}
+	}
+}
+
+func TestManagerRegisterAndWait(t *testing.T) {
+	m := NewManager()
+	q := m.Register("A", 8)
+	if got, ok := m.Queue("A"); !ok || got != q {
+		t.Error("Queue lookup failed")
+	}
+	if _, ok := m.Queue("B"); ok {
+		t.Error("unknown queue found")
+	}
+	if got := m.Wait("A", ms(42)); got != ms(42) {
+		t.Errorf("Wait fallback = %v", got)
+	}
+	if got := m.Wait("missing", ms(42)); got != ms(42) {
+		t.Errorf("Wait for missing wrapper = %v", got)
+	}
+	q.Push(relation.Tuple{1}, ms(10))
+	q.Push(relation.Tuple{2}, ms(20))
+	m.Observe(ms(30))
+	if got := m.Wait("A", ms(42)); got != ms(10) {
+		t.Errorf("Wait after observation = %v, want 10ms", got)
+	}
+}
+
+func TestManagerDuplicateRegisterPanics(t *testing.T) {
+	m := NewManager()
+	m.Register("A", 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate register did not panic")
+		}
+	}()
+	m.Register("A", 8)
+}
+
+func TestManagerRateChangeDetection(t *testing.T) {
+	m := NewManager()
+	m.MinObservations = 4
+	q := m.Register("A", 1024)
+	at := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		at += ms(1)
+		q.Push(relation.Tuple{int64(i)}, at)
+	}
+	m.Observe(at)
+	m.SnapshotPlanned(func(string) time.Duration { return ms(1) })
+	if got := m.RateChanged(); got != "" {
+		t.Errorf("rate change on stable stream: %q", got)
+	}
+	// The wrapper slows down by 10x: the EWMA crosses the factor-2 bound.
+	for i := 0; i < 60; i++ {
+		at += ms(10)
+		q.Push(relation.Tuple{int64(100 + i)}, at)
+	}
+	m.Observe(at)
+	if got := m.RateChanged(); got != "A" {
+		t.Errorf("RateChanged = %q, want A", got)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/exec"
+	"dqs/internal/sim"
+)
+
+// eventKind classifies DQP interruption events (§3.2).
+type eventKind int
+
+const (
+	// evSPDone: every fragment of the scheduling plan terminated.
+	evSPDone eventKind = iota
+	// evEndOfQF: one query fragment terminated (normal interruption).
+	evEndOfQF
+	// evRateChange: the CM detected a significant delivery-rate change.
+	evRateChange
+	// evTimeout: every scheduled fragment starved past the timeout.
+	evTimeout
+	// evOverflow: a fragment exhausted the memory grant.
+	evOverflow
+)
+
+type event struct {
+	kind    eventKind
+	frag    *exec.Fragment
+	wrapper string
+}
+
+// processPhase is one DQP execution phase (§3.2): process batches from the
+// highest-priority fragment that has data, falling down the priority list on
+// data gaps and returning to the top after every batch. It returns the
+// interruption event that ends the phase.
+func (e *Engine) processPhase(sp []*exec.Fragment) event {
+	med := e.med
+	var lastNow time.Duration = -1
+	spins := 0
+	for {
+		now := med.Now()
+		if now == lastNow {
+			spins++
+			if spins > 1_000_000 {
+				var detail string
+				for _, f := range sp {
+					at, ok := f.NextArrival()
+					detail += fmt.Sprintf(" [%s done=%v runnable=%v avail=%d exhausted=%v next=%v,%v]",
+						f.Label, f.Done(), f.Runnable(now), f.In.Available(now), f.In.Exhausted(), at, ok)
+				}
+				panic("core: DQP spin at t=" + now.String() + detail)
+			}
+		} else {
+			lastNow, spins = now, 0
+		}
+		med.CM.Observe(now)
+		if w := med.CM.RateChanged(); w != "" {
+			med.Trace.Add(now, sim.EvRateChange, "delivery rate of %s changed", w)
+			return event{kind: evRateChange, wrapper: w}
+		}
+		acted := false
+		alldone := true
+		for _, f := range sp {
+			if f.Done() {
+				continue
+			}
+			alldone = false
+			if f.Runnable(now) {
+				_, overflow := f.ProcessBatch(med.Cfg.BatchTuples)
+				if overflow {
+					return event{kind: evOverflow, frag: f}
+				}
+				if f.Done() {
+					return event{kind: evEndOfQF, frag: f}
+				}
+				acted = true
+				break // return to the highest-priority queue
+			}
+			if f.In.Exhausted() {
+				// Input is gone; let the fragment finalize.
+				f.ProcessBatch(0)
+				if f.Done() {
+					return event{kind: evEndOfQF, frag: f}
+				}
+			}
+		}
+		if alldone {
+			return event{kind: evSPDone}
+		}
+		if acted {
+			continue
+		}
+		// Every scheduled fragment is starved: the engine stalls until the
+		// earliest arrival, or reports a timeout for the DQO.
+		next, ok := e.nextArrival(sp)
+		if !ok {
+			// No future arrivals on any scheduled fragment; the remaining
+			// fragments must be able to finish without input.
+			return event{kind: evSPDone}
+		}
+		if next-now > med.Cfg.Timeout {
+			med.Trace.Add(now, sim.EvTimeout, "all scheduled fragments starved (next arrival %.3fs away)",
+				(next - now).Seconds())
+			return event{kind: evTimeout}
+		}
+		med.Trace.Add(now, sim.EvStall, "stall %.6fs", (next - now).Seconds())
+		med.Clock.Stall(next)
+	}
+}
+
+// nextArrival returns the earliest next input arrival among the unfinished
+// fragments of the plan.
+func (e *Engine) nextArrival(sp []*exec.Fragment) (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, f := range sp {
+		if f.Done() {
+			continue
+		}
+		if at, ok := f.NextArrival(); ok && (!found || at < best) {
+			best, found = at, true
+		}
+	}
+	return best, found
+}

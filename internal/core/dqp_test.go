@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dqs/internal/exec"
+)
+
+// TestProcessPhaseFallsThroughPriorities drives one DQP execution phase
+// directly: the scheduling plan puts a starved chain first and a flowing
+// chain second; the DQP must do the second chain's work during the first
+// one's gaps (§3.2) instead of stalling.
+func TestProcessPhaseFallsThroughPriorities(t *testing.T) {
+	w := smallFig5(t)
+	del := uniform(w, 10*time.Microsecond)
+	del["E"] = exec.Delivery{MeanWait: 10 * time.Microsecond, InitialDelay: 300 * time.Millisecond}
+	rt := newRT(t, w, testConfig(), del)
+	e := NewEngine(rt)
+
+	cE, _ := rt.Dec.ChainOf("E")
+	cD, _ := rt.Dec.ChainOf("D")
+	fE := rt.NewPCFragment(cE) // starved for 300ms
+	fD := rt.NewPCFragment(cD) // flowing immediately
+	ev := e.processPhase([]*exec.Fragment{fE, fD})
+	if ev.kind != evEndOfQF {
+		t.Fatalf("event = %v, want EndOfQF", ev.kind)
+	}
+	// The first completion must be p_D: it finishes (~0.2s of data) while
+	// p_E has not even started delivering.
+	if ev.frag != fD {
+		t.Fatalf("first finished fragment = %s, want p_D", ev.frag.Label)
+	}
+	if fD.Processed() == 0 || fE.Processed() != 0 {
+		t.Errorf("processed: D=%d E=%d; want D>0, E=0", fD.Processed(), fE.Processed())
+	}
+	// Finish the phase: p_E completes next.
+	ev = e.processPhase([]*exec.Fragment{fE, fD})
+	if ev.kind != evEndOfQF || ev.frag != fE {
+		t.Fatalf("second event = %v/%v, want EndOfQF(p_E)", ev.kind, ev.frag)
+	}
+}
+
+// TestProcessPhaseStallsWhenAllStarved verifies the DQP stalls (accounting
+// idle time) when every scheduled fragment is starved, and that it wakes at
+// the earliest arrival.
+func TestProcessPhaseStallsWhenAllStarved(t *testing.T) {
+	w := smallFig5(t)
+	del := uniform(w, 10*time.Microsecond)
+	del["E"] = exec.Delivery{MeanWait: 10 * time.Microsecond, InitialDelay: 100 * time.Millisecond}
+	del["D"] = exec.Delivery{MeanWait: 10 * time.Microsecond, InitialDelay: 150 * time.Millisecond}
+	rt := newRT(t, w, testConfig(), del)
+	e := NewEngine(rt)
+	cE, _ := rt.Dec.ChainOf("E")
+	cD, _ := rt.Dec.ChainOf("D")
+	ev := e.processPhase([]*exec.Fragment{rt.NewPCFragment(cE), rt.NewPCFragment(cD)})
+	if ev.kind != evEndOfQF {
+		t.Fatalf("event = %v", ev.kind)
+	}
+	if rt.Clock.Idle() < 99*time.Millisecond {
+		t.Errorf("idle time %v, want ≈100ms of stalling before the first arrival", rt.Clock.Idle())
+	}
+}
+
+// TestProcessPhaseTimeout verifies the TimeOut interruption when the
+// starvation exceeds the configured timeout.
+func TestProcessPhaseTimeout(t *testing.T) {
+	w := smallFig5(t)
+	cfg := testConfig()
+	cfg.Timeout = 50 * time.Millisecond
+	del := uniform(w, 10*time.Microsecond)
+	del["E"] = exec.Delivery{MeanWait: 10 * time.Microsecond, InitialDelay: time.Second}
+	rt := newRT(t, w, cfg, del)
+	e := NewEngine(rt)
+	cE, _ := rt.Dec.ChainOf("E")
+	ev := e.processPhase([]*exec.Fragment{rt.NewPCFragment(cE)})
+	if ev.kind != evTimeout {
+		t.Fatalf("event = %v, want TimeOut", ev.kind)
+	}
+}
+
+// TestScheduleOrdersByCriticalDegree checks the DQS priority order: with
+// one wrapper much slower than another (and the CM already aware), the
+// slower chain gets higher priority.
+func TestScheduleOrdersByCriticalDegree(t *testing.T) {
+	w := smallFig5(t)
+	cfg := testConfig()
+	cfg.BMT = 1e9 // keep plain PCs
+	del := uniform(w, 20*time.Microsecond)
+	del["E"] = exec.Delivery{MeanWait: 5 * time.Millisecond}
+	rt := newRT(t, w, cfg, del)
+	e := NewEngine(rt)
+	// Let the CM observe both wrappers for a while.
+	rt.Clock.Stall(200 * time.Millisecond)
+	rt.CM.Observe(rt.Now())
+	sp, err := e.schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) < 2 {
+		t.Fatalf("SP has %d fragments", len(sp))
+	}
+	if sp[0].Chain.Scan.Rel.Name != "E" {
+		labels := make([]string, len(sp))
+		for i, f := range sp {
+			labels[i] = f.Label
+		}
+		t.Errorf("slowest wrapper not first in SP: %v", labels)
+	}
+}
+
+// TestScheduleCreatesMFForBlockedCriticalChain checks the §4.4 degradation
+// rule end to end at the scheduler level.
+func TestScheduleCreatesMFForBlockedCriticalChain(t *testing.T) {
+	w := smallFig5(t)
+	rt := newRT(t, w, testConfig(), uniform(w, 20*time.Microsecond))
+	e := NewEngine(rt)
+	sp, err := e.schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasMF := false
+	for _, f := range sp {
+		if f.Term == exec.TermTemp {
+			hasMF = true
+		}
+	}
+	// At w_min = 20µs, bmi ≈ 1.5 > bmt = 1: the blocked chains (p_A, p_B,
+	// p_F, p_C) must be degraded at the very first planning phase.
+	if !hasMF {
+		t.Error("no materialization fragments in the initial SP")
+	}
+	if got := len(sp); got < 5 {
+		t.Errorf("initial SP has %d fragments, want >= 5 (2 builds + several MFs)", got)
+	}
+}
+
+// TestScheduleSkipsDegradationBelowBMT checks the negative direction.
+func TestScheduleSkipsDegradationBelowBMT(t *testing.T) {
+	w := smallFig5(t)
+	cfg := testConfig()
+	cfg.BMT = 10
+	rt := newRT(t, w, cfg, uniform(w, 20*time.Microsecond))
+	e := NewEngine(rt)
+	sp, err := e.schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range sp {
+		if f.Term == exec.TermTemp {
+			t.Errorf("fragment %s degraded despite bmi << bmt", f.Label)
+		}
+	}
+	// Only the two leaf build chains are schedulable.
+	if len(sp) != 2 {
+		labels := make([]string, len(sp))
+		for i, f := range sp {
+			labels[i] = f.Label
+		}
+		t.Errorf("SP = %v, want the two leaf chains", labels)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"dqs/internal/exec"
+	"dqs/internal/sim"
+)
+
+// schedule is one DQS planning phase (§4.5). It:
+//
+//  1. computes the set of schedulable fragments (C-schedulability from the
+//     ancestor relation, input readiness for split segments) across every
+//     attached query,
+//  2. degrades critical, non-schedulable PCs whose bmi exceeds bmt into
+//     MF + CF (§4.4) — the MF is then immediately schedulable,
+//  3. orders the fragments by critical degree (§4.3), and
+//  4. extracts the longest prefix that fits in the memory grant.
+//
+// It returns the scheduling plan: fragments in strictly decreasing
+// priority. An empty plan with work remaining is resolved by the DQO
+// (memory split or optimistic scheduling) or reported as an error by the
+// caller.
+func (e *Engine) schedule() ([]*exec.Fragment, error) {
+	med := e.med
+	// Lift memory suspensions once the grant has visibly grown.
+	for _, cs := range e.states {
+		if cs.memSuspended && med.Mem.Available() > cs.suspendAvail {
+			cs.memSuspended = false
+		}
+	}
+
+	type cand struct {
+		cs   *chainState
+		frag *exec.Fragment
+		prio time.Duration
+	}
+	var cands []cand
+	for _, cs := range e.states {
+		seg := cs.active()
+		if seg == nil || cs.memSuspended {
+			continue
+		}
+		rt := cs.rt
+		// Input readiness: the first segment reads its wrapper queue; later
+		// segments need the previous segment's temp to be complete.
+		if cs.cur > 0 {
+			prev := cs.segs[cs.cur-1]
+			if prev.frag == nil || !prev.frag.Done() {
+				continue
+			}
+		}
+		if !e.tablesComplete(cs, seg) {
+			// Degradation consideration (§4.4): only plain, never-started,
+			// never-degraded full PCs qualify.
+			if cs.degraded || len(cs.segs) != 1 || seg.started() {
+				continue
+			}
+			w := rt.Wait(cs.chain)
+			n := cs.chain.Scan.Rel.Cardinality
+			if CriticalDegree(rt, cs.chain, n, w) <= 0 {
+				continue
+			}
+			if bmi := BMI(rt, cs.chain); bmi <= rt.Cfg.BMT {
+				continue
+			}
+			cs.splitActive(seg.fromStep) // MF [0,0) + CF [0,len)
+			cs.degraded = true
+			med.CountDegrade()
+			med.Trace.Add(med.Now(), sim.EvDegrade, "degrade %s%s (bmi=%.2f > bmt=%.2f)",
+				prefixLabel(rt.Label), cs.chain.Name, BMI(rt, cs.chain), rt.Cfg.BMT)
+			seg = cs.active() // the MF: no probed tables, always C-schedulable
+		}
+		if seg.frag == nil {
+			seg.frag = rt.NewSegment(cs.chain, seg.fromStep, seg.toStep, cs.prevTemp(), cs.cur == len(cs.segs)-1)
+		}
+		if seg.frag.Done() {
+			continue
+		}
+		cands = append(cands, cand{cs: cs, frag: seg.frag, prio: fragmentPriority(rt, seg.frag)})
+	}
+
+	// Priority order: critical degree descending; ties broken toward
+	// chains that unblock more downstream work, then by name for
+	// determinism.
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].prio != cands[j].prio {
+			return cands[i].prio > cands[j].prio
+		}
+		di, dj := e.descendants[cands[i].cs.chain], e.descendants[cands[j].cs.chain]
+		if di != dj {
+			return di > dj
+		}
+		li := cands[i].cs.rt.Label + cands[i].cs.chain.Name
+		lj := cands[j].cs.rt.Label + cands[j].cs.chain.Name
+		return li < lj
+	})
+
+	// Memory fit: take fragments in priority order while their remaining
+	// build-side growth fits the grant.
+	avail := med.Mem.Available()
+	var sp []*exec.Fragment
+	var skippedTop *cand
+	for i := range cands {
+		c := &cands[i]
+		add := e.estAdd(c.cs.rt, c.frag)
+		if add <= avail {
+			sp = append(sp, c.frag)
+			avail -= add
+			continue
+		}
+		if skippedTop == nil {
+			skippedTop = c
+		}
+	}
+	if len(sp) == 0 && skippedTop != nil {
+		// Nothing fits: ask the DQO for a memory-repair split of the most
+		// critical candidate, then re-plan.
+		if e.splitForMemory(skippedTop.cs) {
+			return e.schedule()
+		}
+		// No split can help according to the *estimates* — but estimates
+		// can be wrong (§1: inaccurate statistics). Schedule the top
+		// candidate optimistically: if the build really overflows, the
+		// overflow machinery suspends it and genuine infeasibility is
+		// detected when no suspended fragment can ever resume.
+		med.Trace.Add(med.Now(), sim.EvMemRepair,
+			"optimistic schedule of %s (estimated need %d > available %d)",
+			skippedTop.frag.Label, e.estAdd(skippedTop.cs.rt, skippedTop.frag), med.Mem.Available())
+		sp = append(sp, skippedTop.frag)
+	}
+	return sp, nil
+}
+
+// estAdd estimates the additional memory a fragment will reserve: the
+// remaining growth of its terminal build table. Materializing and
+// output-terminated fragments consume no accountable memory.
+func (e *Engine) estAdd(rt *exec.Runtime, f *exec.Fragment) int64 {
+	if f.Term != exec.TermBuild {
+		return 0
+	}
+	est := rt.EstBuildBytes(f.Chain)
+	already := rt.TableReserved(f.Chain.BuildsFor)
+	if est <= already {
+		return 0
+	}
+	return est - already
+}

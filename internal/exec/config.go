@@ -1,0 +1,122 @@
+// Package exec provides the shared execution runtime of the mediator query
+// engine — wrapper sources, queues, hash tables, fragments, cost charging —
+// plus the two baseline strategies of the paper's evaluation (SEQ, the
+// classic iterator model, and MA, materialize-all) and the analytic lower
+// bound LWB. The paper's own strategy (DSE) lives in package core and runs
+// on this same runtime, so performance differences between strategies can
+// only stem from scheduling decisions (§5.1.2).
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/sim"
+	"dqs/internal/source"
+)
+
+// Delivery describes the simulated delivery behaviour of one wrapper.
+type Delivery struct {
+	// MeanWait is the mean per-tuple waiting time w (delays drawn
+	// uniformly from [0, 2w], §5.1.3). Ignored when Phases is set.
+	MeanWait time.Duration
+	// Phases optionally gives a piecewise schedule (bursty arrivals).
+	Phases []source.Phase
+	// InitialDelay postpones the first tuple (initial-delay scenarios).
+	InitialDelay time.Duration
+}
+
+// Config carries every knob of one query execution.
+type Config struct {
+	// Params is the simulation cost table (Table 1).
+	Params sim.Params
+	// MemoryBytes is the query's memory grant, fixed for the whole
+	// execution (§3.3).
+	MemoryBytes int64
+	// QueueTuples is the per-wrapper window size in tuples.
+	QueueTuples int
+	// BatchTuples is the DQP batch size (§3.2).
+	BatchTuples int
+	// BMT is the benefit-materialization threshold (§4.4); the experiments
+	// use 1.
+	BMT float64
+	// Timeout is how long the DQP may be fully starved before returning a
+	// TimeOut interruption (§3.2).
+	Timeout time.Duration
+	// RateChangeFactor is the waiting-time drift ratio the CM treats as
+	// significant.
+	RateChangeFactor float64
+	// InitialWaitEstimate seeds the scheduler's waiting-time knowledge
+	// before the CM has observed arrivals; the natural choice is the
+	// no-problem delivery time w_min.
+	InitialWaitEstimate time.Duration
+	// PrefetchPages is the temp-reader prefetch depth.
+	PrefetchPages int
+	// ScrambleTimeout is how long the scrambling baseline (SCR, §1.2)
+	// waits on a starved operator before reacting. Scrambling is
+	// timeout-driven: the whole timeout elapses idle before a scrambling
+	// step fires — the paper's central argument against it for
+	// slow-delivery cases, where per-tuple gaps never reach the timeout.
+	ScrambleTimeout time.Duration
+	// ScrambleSwitchInstr is the CPU overhead of one scrambling step:
+	// suspending the running operator tree and activating another requires
+	// saving in-flight state (the materialization overhead of [2]). The
+	// DSE fragments need none of this because the scheduling plan
+	// guarantees co-residency (§1.3).
+	ScrambleSwitchInstr int64
+	// Seed drives every random stream (delays). Runs with equal seeds and
+	// configs are bit-identical.
+	Seed int64
+	// Trace, when non-nil, records execution events.
+	Trace *sim.Trace
+}
+
+// DefaultConfig returns the configuration used by the paper's experiments:
+// Table 1 costs, ample memory, bmt = 1.
+func DefaultConfig() Config {
+	p := sim.DefaultParams()
+	return Config{
+		Params:              p,
+		MemoryBytes:         64 << 20,
+		QueueTuples:         4 * p.TuplesPerPage(),
+		BatchTuples:         256,
+		BMT:                 1,
+		Timeout:             10 * time.Second,
+		RateChangeFactor:    2,
+		InitialWaitEstimate: 20 * time.Microsecond,
+		PrefetchPages:       2,
+		ScrambleTimeout:     100 * time.Millisecond,
+		ScrambleSwitchInstr: 500000,
+		Seed:                1,
+	}
+}
+
+// Validate reports the first invalid configuration field.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.MemoryBytes <= 0:
+		return fmt.Errorf("exec: MemoryBytes must be positive, got %d", c.MemoryBytes)
+	case c.QueueTuples <= 0:
+		return fmt.Errorf("exec: QueueTuples must be positive, got %d", c.QueueTuples)
+	case c.BatchTuples <= 0:
+		return fmt.Errorf("exec: BatchTuples must be positive, got %d", c.BatchTuples)
+	case c.BMT < 0:
+		return fmt.Errorf("exec: BMT must be non-negative, got %v", c.BMT)
+	case c.Timeout <= 0:
+		return fmt.Errorf("exec: Timeout must be positive, got %v", c.Timeout)
+	case c.RateChangeFactor < 1:
+		return fmt.Errorf("exec: RateChangeFactor must be at least 1, got %v", c.RateChangeFactor)
+	case c.InitialWaitEstimate < 0:
+		return fmt.Errorf("exec: InitialWaitEstimate must be non-negative, got %v", c.InitialWaitEstimate)
+	case c.PrefetchPages < 1:
+		return fmt.Errorf("exec: PrefetchPages must be at least 1, got %d", c.PrefetchPages)
+	case c.ScrambleTimeout <= 0:
+		return fmt.Errorf("exec: ScrambleTimeout must be positive, got %v", c.ScrambleTimeout)
+	case c.ScrambleSwitchInstr < 0:
+		return fmt.Errorf("exec: ScrambleSwitchInstr must be non-negative, got %d", c.ScrambleSwitchInstr)
+	}
+	return nil
+}

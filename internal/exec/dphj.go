@@ -1,0 +1,211 @@
+package exec
+
+import (
+	"time"
+
+	"fmt"
+
+	"dqs/internal/operator"
+	"dqs/internal/plan"
+	"dqs/internal/relation"
+	"dqs/internal/sim"
+)
+
+// RunDPHJ executes the plan as a network of double-pipelined (symmetric)
+// hash joins — the operator-level adaptation the paper's §1.1 discusses
+// ([8], after the parallel-database design of [16]). Every join keeps a
+// hash table on BOTH inputs and every edge is pipelinable: a tuple arriving
+// from either side is inserted into its side's table and probed against the
+// other, so the engine reacts to any wrapper's data the instant it arrives,
+// with no scheduling decisions at all.
+//
+// The price is the one the paper alludes to: every input and intermediate
+// result is retained in memory on both sides of its join (roughly twice
+// the footprint of the asymmetric plan), the approach only works for
+// hash-based (equi-join) plans, and there is no memory adaptation — an
+// overflow is fatal.
+func RunDPHJ(rt *Runtime) (Result, error) {
+	net, err := newSymNet(rt)
+	if err != nil {
+		return Result{}, err
+	}
+	type feed struct {
+		src  TupleSource
+		leaf *symLeaf
+	}
+	feeds := make([]feed, 0, len(rt.Dec.Chains))
+	for _, c := range rt.Dec.Chains {
+		leaf, ok := net.leaves[c.Scan.Rel.Name]
+		if !ok {
+			return Result{}, fmt.Errorf("exec: DPHJ leaf for %s missing", c.Scan.Rel.Name)
+		}
+		feeds = append(feeds, feed{src: rt.QueueSource(c.Scan.Rel.Name), leaf: leaf})
+	}
+	for {
+		progressed := false
+		exhausted := 0
+		for _, f := range feeds {
+			if f.src.Exhausted() {
+				exhausted++
+				continue
+			}
+			n := f.src.Available(rt.Now())
+			if n > rt.Cfg.BatchTuples {
+				n = rt.Cfg.BatchTuples
+			}
+			for i := 0; i < n; i++ {
+				t := f.src.Pop(rt.Now())
+				rt.Costs.ChargeReceive()
+				rt.Costs.ChargeMove()
+				if f.leaf.pred != nil && !operator.EvalPred(t, f.leaf.predIdx, f.leaf.pred.Less) {
+					continue
+				}
+				if !net.arrive(f.leaf.join, f.leaf.fromBuild, t) {
+					return Result{}, fmt.Errorf("%w (symmetric join network)", ErrMemoryExceeded)
+				}
+			}
+			if n > 0 {
+				progressed = true
+			}
+		}
+		if exhausted == len(feeds) {
+			break
+		}
+		if !progressed {
+			var next time.Duration = -1
+			for _, f := range feeds {
+				if f.src.Exhausted() {
+					continue
+				}
+				if at, ok := f.src.NextArrival(); ok && (next < 0 || at < next) {
+					next = at
+				}
+			}
+			if next < 0 {
+				return Result{}, fmt.Errorf("exec: DPHJ starved with no future arrivals")
+			}
+			rt.Trace.Add(rt.Now(), sim.EvStall, "DPHJ stall")
+			rt.Clock.Stall(next)
+		}
+	}
+	return rt.Finish("DPHJ"), nil
+}
+
+// symJoin is one symmetric join: hash tables on both inputs.
+type symJoin struct {
+	node       *plan.Node
+	buildTable *operator.HashTable // over tuples arriving from the Build subtree
+	probeTable *operator.HashTable // over tuples arriving from the Probe subtree
+	buildIdx   int                 // key index in Build-side tuples
+	probeIdx   int                 // key index in Probe-side tuples
+
+	parent    *symJoin
+	fromBuild bool // whether this join's output feeds the parent's Build side
+}
+
+// symLeaf maps a wrapper to its entry point in the network.
+type symLeaf struct {
+	join      *symJoin
+	fromBuild bool
+	pred      *plan.Pred
+	predIdx   int
+}
+
+// symNet is the whole join network.
+type symNet struct {
+	rt     *Runtime
+	joins  map[int]*symJoin
+	leaves map[string]*symLeaf
+	root   *symJoin // nil for single-scan plans
+}
+
+// newSymNet compiles the plan into a symmetric-hash-join network.
+func newSymNet(rt *Runtime) (*symNet, error) {
+	net := &symNet{rt: rt, joins: make(map[int]*symJoin), leaves: make(map[string]*symLeaf)}
+	var build func(n *plan.Node, parent *symJoin, fromBuild bool) error
+	build = func(n *plan.Node, parent *symJoin, fromBuild bool) error {
+		switch n.Kind {
+		case plan.KindOutput:
+			return build(n.Child, nil, false)
+		case plan.KindHashJoin:
+			sj := &symJoin{
+				node:       n,
+				buildTable: operator.NewHashTable(n.Build.Schema.MustIndexOf(n.BuildKey)),
+				probeTable: operator.NewHashTable(n.Probe.Schema.MustIndexOf(n.ProbeKey)),
+				buildIdx:   n.Build.Schema.MustIndexOf(n.BuildKey),
+				probeIdx:   n.Probe.Schema.MustIndexOf(n.ProbeKey),
+				parent:     parent,
+				fromBuild:  fromBuild,
+			}
+			if parent == nil {
+				net.root = sj
+			}
+			net.joins[n.ID] = sj
+			if err := build(n.Build, sj, true); err != nil {
+				return err
+			}
+			return build(n.Probe, sj, false)
+		case plan.KindScan:
+			leaf := &symLeaf{join: parent, fromBuild: fromBuild, pred: n.Pred}
+			if n.Pred != nil {
+				leaf.predIdx = n.Schema.MustIndexOf(n.Pred.Col)
+			}
+			if parent == nil {
+				// Single-relation plan: tuples go straight to the output.
+				leaf.join = nil
+			}
+			net.leaves[n.Rel.Name] = leaf
+			return nil
+		default:
+			return fmt.Errorf("exec: DPHJ cannot compile node kind %v", n.Kind)
+		}
+	}
+	if err := build(rt.Root, nil, false); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// arrive delivers one tuple to a join from the given side, inserting,
+// probing the opposite table and propagating matches upward. A nil join
+// means the tuple is already a result. It returns false on memory
+// exhaustion.
+func (net *symNet) arrive(sj *symJoin, fromBuild bool, t relation.Tuple) bool {
+	rt := net.rt
+	if sj == nil {
+		rt.Costs.ChargeResult()
+		rt.emitOutput()
+		return true
+	}
+	if !rt.Mem.Reserve(int64(rt.Cfg.Params.TupleSize)) {
+		return false
+	}
+	rt.Costs.ChargeMove()
+	var matches []relation.Tuple
+	if fromBuild {
+		sj.buildTable.Insert(t)
+		rt.Costs.ChargeProbe()
+		for _, m := range sj.probeTable.Probe(t[sj.buildIdx]) {
+			rt.Costs.ChargeResult()
+			// Result schema is probe ++ build, matching the plan schema.
+			matches = append(matches, relation.Concat(m, t))
+		}
+	} else {
+		sj.probeTable.Insert(t)
+		rt.Costs.ChargeProbe()
+		for _, m := range sj.buildTable.Probe(t[sj.probeIdx]) {
+			rt.Costs.ChargeResult()
+			matches = append(matches, relation.Concat(t, m))
+		}
+	}
+	for _, out := range matches {
+		if sj.parent == nil {
+			rt.emitOutput()
+			continue
+		}
+		if !net.arrive(sj.parent, sj.fromBuild, out) {
+			return false
+		}
+	}
+	return true
+}

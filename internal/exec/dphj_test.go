@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dqs/internal/reftest"
+	"dqs/internal/sim"
+	"dqs/internal/workload"
+)
+
+func TestDPHJMatchesReference(t *testing.T) {
+	w := smallFig5(t)
+	rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, uniform(w, 10*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDPHJ(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := reftest.Count(w.Root, w.Dataset); res.OutputRows != want {
+		t.Errorf("DPHJ produced %d rows, reference says %d", res.OutputRows, want)
+	}
+}
+
+func TestDPHJMatchesReferenceOnRandomWorkloads(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		w, err := workload.Random(sim.NewRNG(seed), workload.DefaultRandomSpec())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg := testConfig()
+		cfg.Seed = seed
+		rt, err := NewRuntime(cfg, w.Root, w.Dataset, uniform(w, 5*time.Microsecond))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := RunDPHJ(rt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if want := reftest.Count(w.Root, w.Dataset); res.OutputRows != want {
+			t.Errorf("seed %d: DPHJ produced %d rows, want %d", seed, res.OutputRows, want)
+		}
+	}
+}
+
+func TestDPHJDoublesMemoryFootprint(t *testing.T) {
+	w := smallFig5(t)
+	del := uniform(w, 10*time.Microsecond)
+	rtA, err := NewRuntime(testConfig(), w.Root, w.Dataset, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunSEQ(rtA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtB, err := NewRuntime(testConfig(), w.Root, w.Dataset, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dphj, err := RunDPHJ(rtB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The symmetric network retains everything (inputs + intermediates) on
+	// both sides of its joins: far above the asymmetric plan's peak.
+	if dphj.PeakMemBytes < 2*seq.PeakMemBytes {
+		t.Errorf("DPHJ peak %d not at least twice SEQ peak %d", dphj.PeakMemBytes, seq.PeakMemBytes)
+	}
+}
+
+func TestDPHJFailsOnMemoryExhaustion(t *testing.T) {
+	w := smallFig5(t)
+	cfg := testConfig()
+	cfg.MemoryBytes = 1 << 20 // the asymmetric plan fits in ~1.3MB; DPHJ cannot
+	rt, err := NewRuntime(cfg, w.Root, w.Dataset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDPHJ(rt); !errors.Is(err, ErrMemoryExceeded) {
+		t.Errorf("err = %v, want ErrMemoryExceeded", err)
+	}
+}
+
+func TestDPHJAbsorbsAnySourceDelay(t *testing.T) {
+	// The operator-level adaptation reacts to any wrapper instantly: with
+	// one slow wrapper it should perform at least as well as SEQ.
+	w := smallFig5(t)
+	for _, slowRel := range []string{"A", "C", "F"} {
+		del := uniform(w, 20*time.Microsecond)
+		del[slowRel] = Delivery{MeanWait: 200 * time.Microsecond}
+		rt1, err := NewRuntime(testConfig(), w.Root, w.Dataset, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dphj, err := RunDPHJ(rt1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt2, err := NewRuntime(testConfig(), w.Root, w.Dataset, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := RunSEQ(rt2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dphj.ResponseTime > seq.ResponseTime {
+			t.Errorf("slow %s: DPHJ (%v) slower than SEQ (%v)", slowRel, dphj.ResponseTime, seq.ResponseTime)
+		}
+	}
+}
+
+func TestDPHJAppliesScanPredicates(t *testing.T) {
+	cat, ds := predWorkload(t)
+	root := buildPredPlan(t, cat, 50)
+	rt, err := NewRuntime(testConfig(), root, ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDPHJ(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := reftest.Count(root, ds); res.OutputRows != want {
+		t.Errorf("DPHJ with predicate produced %d rows, want %d", res.OutputRows, want)
+	}
+}

@@ -1,0 +1,355 @@
+package exec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dqs/internal/plan"
+	"dqs/internal/reftest"
+	"dqs/internal/relation"
+	"dqs/internal/sim"
+	"dqs/internal/workload"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	return cfg
+}
+
+func smallFig5(t *testing.T) *workload.Workload {
+	t.Helper()
+	w, err := workload.Fig5Small(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func uniform(w *workload.Workload, wait time.Duration) map[string]Delivery {
+	out := make(map[string]Delivery)
+	for _, name := range w.Catalog.Names() {
+		out[name] = Delivery{MeanWait: wait}
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"memory", func(c *Config) { c.MemoryBytes = 0 }},
+		{"queue", func(c *Config) { c.QueueTuples = 0 }},
+		{"batch", func(c *Config) { c.BatchTuples = 0 }},
+		{"bmt", func(c *Config) { c.BMT = -1 }},
+		{"timeout", func(c *Config) { c.Timeout = 0 }},
+		{"rate factor", func(c *Config) { c.RateChangeFactor = 0.5 }},
+		{"wait estimate", func(c *Config) { c.InitialWaitEstimate = -1 }},
+		{"prefetch", func(c *Config) { c.PrefetchPages = 0 }},
+		{"params", func(c *Config) { c.Params.CPUMips = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("bad %s accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestNewRuntimeErrors(t *testing.T) {
+	w := smallFig5(t)
+	cfg := testConfig()
+
+	t.Run("invalid config", func(t *testing.T) {
+		bad := cfg
+		bad.BatchTuples = 0
+		if _, err := NewRuntime(bad, w.Root, w.Dataset, nil); err == nil {
+			t.Error("invalid config accepted")
+		}
+	})
+	t.Run("missing relation", func(t *testing.T) {
+		trimmed := make(relation.Dataset)
+		for k, v := range w.Dataset {
+			trimmed[k] = v
+		}
+		delete(trimmed, "A")
+		if _, err := NewRuntime(cfg, w.Root, trimmed, nil); err == nil {
+			t.Error("missing relation accepted")
+		}
+	})
+	t.Run("cardinality mismatch", func(t *testing.T) {
+		mangled := make(relation.Dataset)
+		for k, v := range w.Dataset {
+			mangled[k] = v
+		}
+		orig := mangled["A"]
+		mangled["A"] = &relation.Table{Rel: orig.Rel, Rows: orig.Rows[:10]}
+		if _, err := NewRuntime(cfg, w.Root, mangled, nil); err == nil {
+			t.Error("cardinality mismatch accepted")
+		}
+	})
+}
+
+func TestIteratorOrderFig5(t *testing.T) {
+	w := smallFig5(t)
+	rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, c := range IteratorOrder(rt.Dec) {
+		names = append(names, c.Name)
+	}
+	want := "p_D p_E p_A p_B p_F p_C"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("iterator order = %q, want %q", got, want)
+	}
+}
+
+func TestSEQMatchesReferenceEvaluator(t *testing.T) {
+	w := smallFig5(t)
+	rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSEQ(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reftest.Count(w.Root, w.Dataset)
+	if res.OutputRows != want {
+		t.Errorf("SEQ produced %d rows, reference says %d", res.OutputRows, want)
+	}
+	if res.OutputRows == 0 {
+		t.Error("empty result")
+	}
+}
+
+func TestAllStrategiesMatchReferenceOnRandomWorkloads(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		w, err := workload.Random(sim.NewRNG(seed), workload.DefaultRandomSpec())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := reftest.Count(w.Root, w.Dataset)
+		run := func(name string, f func(*Runtime) (Result, error)) {
+			cfg := testConfig()
+			cfg.Seed = seed
+			rt, err := NewRuntime(cfg, w.Root, w.Dataset, uniform(w, 10*time.Microsecond))
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			res, err := f(rt)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			if res.OutputRows != want {
+				t.Errorf("seed %d: %s produced %d rows, reference says %d", seed, name, res.OutputRows, want)
+			}
+		}
+		run("SEQ", RunSEQ)
+		run("MA", RunMA)
+	}
+}
+
+func TestSEQDeterminism(t *testing.T) {
+	w := smallFig5(t)
+	del := uniform(w, 20*time.Microsecond)
+	var first Result
+	for i := 0; i < 2; i++ {
+		rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunSEQ(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res
+		} else if res != first {
+			t.Errorf("same seed produced different results:\n%v\n%v", first, res)
+		}
+	}
+}
+
+func TestSEQResponseGrowsWithSlowdown(t *testing.T) {
+	w := smallFig5(t)
+	var prev time.Duration
+	for i, wait := range []time.Duration{20 * time.Microsecond, 60 * time.Microsecond, 120 * time.Microsecond} {
+		del := uniform(w, 20*time.Microsecond)
+		del["A"] = Delivery{MeanWait: wait}
+		rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunSEQ(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.ResponseTime <= prev {
+			t.Errorf("slowdown %v did not increase SEQ response (%v <= %v)", wait, res.ResponseTime, prev)
+		}
+		prev = res.ResponseTime
+	}
+}
+
+func TestLWBNeverExceedsAnyStrategy(t *testing.T) {
+	w := smallFig5(t)
+	for _, wait := range []time.Duration{0, 20 * time.Microsecond, 100 * time.Microsecond} {
+		del := uniform(w, wait)
+		var lwb time.Duration
+		{
+			rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, del)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lwb = LWB(rt)
+		}
+		for _, s := range []struct {
+			name string
+			f    func(*Runtime) (Result, error)
+		}{{"SEQ", RunSEQ}, {"MA", RunMA}} {
+			rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, del)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.f(rt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ResponseTime < lwb {
+				t.Errorf("w=%v: %s (%v) beats LWB (%v)", wait, s.name, res.ResponseTime, lwb)
+			}
+		}
+	}
+}
+
+func TestMAMaterializesEverything(t *testing.T) {
+	w := smallFig5(t)
+	rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, uniform(w, 10*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMA(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, tab := range w.Dataset {
+		total += int64(tab.Len())
+	}
+	if res.MaterializedTuples != total {
+		t.Errorf("MA materialized %d tuples, want all %d", res.MaterializedTuples, total)
+	}
+	if res.Disk.Writes == 0 || res.Disk.Reads == 0 {
+		t.Errorf("MA did no I/O: %+v", res.Disk)
+	}
+}
+
+func TestSEQFailsOnTinyMemory(t *testing.T) {
+	w := smallFig5(t)
+	cfg := testConfig()
+	cfg.MemoryBytes = 64 << 10
+	rt, err := NewRuntime(cfg, w.Root, w.Dataset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSEQ(rt); !errors.Is(err, ErrMemoryExceeded) {
+		t.Errorf("SEQ under tiny grant: err = %v, want ErrMemoryExceeded", err)
+	}
+}
+
+// predWorkload builds a tiny two-relation catalog and dataset with a join
+// column over domain 100, for predicate-pushdown tests.
+func predWorkload(t *testing.T) (*relation.Catalog, relation.Dataset) {
+	t.Helper()
+	cat := relation.NewCatalog()
+	a := cat.MustAdd("A", 1000, "id", "k")
+	b := cat.MustAdd("B", 100, "id", "k")
+	g := relation.NewGenerator(sim.NewRNG(3))
+	ds := relation.Dataset{
+		"A": g.MustGenerate(a, relation.ColumnSpec{Col: "k", Domain: 100}),
+		"B": g.MustGenerate(b, relation.ColumnSpec{Col: "k", Domain: 100}),
+	}
+	return cat, ds
+}
+
+func TestFragmentMFAppliesScanPredicate(t *testing.T) {
+	// Build a tiny workload with a pushed-down predicate and check the MF
+	// only materializes passing tuples.
+	cat, ds := predWorkload(t)
+	root := buildPredPlan(t, cat, 50)
+	cfg := testConfig()
+	rt, err := NewRuntime(cfg, root, ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := rt.Dec.ChainOf("A")
+	if !ok {
+		t.Fatal("no chain for A")
+	}
+	f := rt.NewMF(c)
+	for !f.Done() {
+		if n, overflow := f.ProcessBatch(256); overflow {
+			t.Fatal("MF overflowed")
+		} else if n == 0 && !f.Done() {
+			at, ok := f.NextArrival()
+			if !ok {
+				break
+			}
+			rt.Clock.Stall(at)
+		}
+	}
+	want := 0
+	for _, row := range ds["A"].Rows {
+		if row[1] < 50 {
+			want++
+		}
+	}
+	if f.Temp.Len() != want {
+		t.Errorf("MF materialized %d tuples, want %d passing the predicate", f.Temp.Len(), want)
+	}
+}
+
+// buildPredPlan builds Output(HashJoin(build=B, probe=A with predicate
+// A.k < less)) over the test catalog.
+func buildPredPlan(t *testing.T, cat *relation.Catalog, less int64) *plan.Node {
+	t.Helper()
+	b := plan.NewBuilder()
+	aRel, _ := cat.Lookup("A")
+	bRel, _ := cat.Lookup("B")
+	col := func(r, c string) relation.ColRef { return relation.ColRef{Rel: r, Col: c} }
+	sa, err := b.Scan(aRel, &plan.Pred{Col: col("A", "k"), Less: less})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Scan(bRel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := b.HashJoin(sb, sa, col("B", "k"), col("A", "k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := b.Output(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := plan.NewStats()
+	st.SetDomain(col("A", "k"), 100)
+	st.SetDomain(col("B", "k"), 100)
+	if err := st.Annotate(root); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}

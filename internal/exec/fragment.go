@@ -1,0 +1,339 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/mem"
+	"dqs/internal/plan"
+	"dqs/internal/relation"
+	"dqs/internal/sim"
+)
+
+// TerminalKind says where a fragment's output tuples go.
+type TerminalKind int
+
+// Fragment terminals.
+const (
+	// TermBuild inserts into the hash table of the parent join (the
+	// chain's blocking output edge).
+	TermBuild TerminalKind = iota
+	// TermTemp materializes into a temporary relation (MF(p) of §4.4, or
+	// the head of a memory-repair split of §4.2).
+	TermTemp
+	// TermOutput emits final query results.
+	TermOutput
+)
+
+// String names the terminal kind.
+func (k TerminalKind) String() string {
+	switch k {
+	case TermBuild:
+		return "build"
+	case TermTemp:
+		return "temp"
+	case TermOutput:
+		return "output"
+	default:
+		return fmt.Sprintf("terminal(%d)", int(k))
+	}
+}
+
+// Fragment is one schedulable unit of work: a (sub-)pipeline-chain with an
+// input tuple source and a terminal. A full PC, an MF, a CF and the halves
+// of a memory-repair split are all Fragments differing only in step range,
+// input and terminal. Fragments are resumable: the DQP can process a batch,
+// switch away, and come back with no loss.
+type Fragment struct {
+	rt    *Runtime
+	Chain *plan.Chain
+	Label string
+
+	// FromStep/ToStep bound the probed joins: Chain.Joins[FromStep:ToStep].
+	FromStep, ToStep int
+	// QueueInput distinguishes wrapper-fed fragments (which pay receive
+	// costs and apply the pushed-down predicate) from temp-fed ones.
+	QueueInput bool
+	In         TupleSource
+	Term       TerminalKind
+	// Temp receives output tuples when Term == TermTemp.
+	Temp *mem.Temp
+
+	predIdx  int
+	predLess int64
+	hasPred  bool
+	steps    []stepExec
+
+	// pending holds terminal-ready tuples that could not be sunk because
+	// the memory grant was exhausted; they are retried on resume.
+	pending   []relation.Tuple
+	processed int64
+	done      bool
+}
+
+type stepExec struct {
+	join     *plan.Node
+	probeIdx int
+}
+
+// inputSchemaAt returns the tuple schema entering step i of chain c.
+func inputSchemaAt(c *plan.Chain, i int) *relation.Schema {
+	if i == 0 {
+		return c.Scan.Schema
+	}
+	return c.Joins[i-1].Schema
+}
+
+// newFragment builds a fragment over chain steps [fromStep, toStep).
+func (rt *Runtime) newFragment(c *plan.Chain, label string, fromStep, toStep int, queueInput bool, in TupleSource, term TerminalKind, temp *mem.Temp) *Fragment {
+	if fromStep < 0 || toStep > len(c.Joins) || fromStep > toStep {
+		panic(fmt.Sprintf("exec: bad fragment step range [%d,%d) for %s", fromStep, toStep, c.Name))
+	}
+	f := &Fragment{
+		rt:         rt,
+		Chain:      c,
+		Label:      label,
+		FromStep:   fromStep,
+		ToStep:     toStep,
+		QueueInput: queueInput,
+		In:         in,
+		Term:       term,
+		Temp:       temp,
+	}
+	if queueInput && c.Scan.Pred != nil {
+		f.hasPred = true
+		f.predIdx = c.Scan.Schema.MustIndexOf(c.Scan.Pred.Col)
+		f.predLess = c.Scan.Pred.Less
+	}
+	for i := fromStep; i < toStep; i++ {
+		j := c.Joins[i]
+		f.steps = append(f.steps, stepExec{
+			join:     j,
+			probeIdx: inputSchemaAt(c, i).MustIndexOf(j.ProbeKey),
+		})
+	}
+	return f
+}
+
+// NewPCFragment creates the fragment executing the whole pipeline chain.
+func (rt *Runtime) NewPCFragment(c *plan.Chain) *Fragment {
+	term := TermOutput
+	if c.BuildsFor != nil {
+		term = TermBuild
+	}
+	return rt.newFragment(c, c.Name, 0, len(c.Joins), true, rt.QueueSource(c.Scan.Rel.Name), term, nil)
+}
+
+// NewMF creates the materialization fragment of a degraded chain: wrapper
+// input, first scan applied, output spilled to a fresh temp (§4.4).
+func (rt *Runtime) NewMF(c *plan.Chain) *Fragment {
+	return rt.NewSegment(c, 0, 0, nil, false)
+}
+
+// NewCF creates the complement fragment over a completed MF's temp.
+func (rt *Runtime) NewCF(c *plan.Chain, temp *mem.Temp) *Fragment {
+	return rt.NewSegment(c, 0, len(c.Joins), temp, true)
+}
+
+// NewMFSync is NewMF with synchronous page writes: the materializing
+// strategy holds the CPU for every transfer, as a strategy implemented on
+// the classic iterator engine (materialize-all) does. The paper's DSE
+// explicitly assumes asynchronous I/O for its fragments (§4.4); MA does
+// not.
+func (rt *Runtime) NewMFSync(c *plan.Chain) *Fragment {
+	temp := rt.Temps.CreateSync("MF("+c.Name+")", c.Scan.Schema)
+	return rt.newFragment(c, "MF("+c.Name+")", 0, 0, true, rt.QueueSource(c.Scan.Rel.Name), TermTemp, temp)
+}
+
+// NewCFSync is NewCF with synchronous page reads (no prefetch overlap).
+func (rt *Runtime) NewCFSync(c *plan.Chain, temp *mem.Temp) *Fragment {
+	term := TermOutput
+	if c.BuildsFor != nil {
+		term = TermBuild
+	}
+	in := tempSource{temp.NewSyncReader()}
+	return rt.newFragment(c, "CF("+c.Name+")", 0, len(c.Joins), false, in, term, nil)
+}
+
+// NewSegment creates the fragment executing chain steps [fromStep, toStep).
+// A nil prev means wrapper input (fromStep must then be 0); otherwise the
+// fragment reads prev, the closed temp of the preceding segment. last says
+// whether this is the final segment of its chain: the final segment keeps
+// the chain's real terminal (build or output); earlier segments materialize
+// into a fresh temp (exposed as f.Temp) for their successor. Note that a
+// memory-repair split at the very top of a chain (§4.2) produces a non-last
+// segment covering every step, so "covers all steps" does not imply "last".
+// MF/CF naming is used for the degenerate split at step 0 (§4.4).
+func (rt *Runtime) NewSegment(c *plan.Chain, fromStep, toStep int, prev *mem.Temp, last bool) *Fragment {
+	queueInput := prev == nil
+	if queueInput && fromStep != 0 {
+		panic(fmt.Sprintf("exec: wrapper-fed segment of %s must start at step 0, got %d", c.Name, fromStep))
+	}
+	if last && toStep != len(c.Joins) {
+		panic(fmt.Sprintf("exec: last segment of %s must reach step %d, got %d", c.Name, len(c.Joins), toStep))
+	}
+	var label string
+	switch {
+	case queueInput && last && fromStep == 0:
+		label = c.Name
+	case queueInput && fromStep == 0 && toStep == 0:
+		label = "MF(" + c.Name + ")"
+	case !queueInput && fromStep == 0 && last:
+		label = "CF(" + c.Name + ")"
+	default:
+		label = fmt.Sprintf("%s[%d:%d]", c.Name, fromStep, toStep)
+	}
+	var in TupleSource
+	if queueInput {
+		in = rt.QueueSource(c.Scan.Rel.Name)
+	} else {
+		in = tempSource{prev.NewReader(rt.Cfg.PrefetchPages)}
+	}
+	if last {
+		term := TermOutput
+		if c.BuildsFor != nil {
+			term = TermBuild
+		}
+		return rt.newFragment(c, label, fromStep, toStep, queueInput, in, term, nil)
+	}
+	temp := rt.Temps.Create(label, inputSchemaAt(c, toStep))
+	return rt.newFragment(c, label, fromStep, toStep, queueInput, in, TermTemp, temp)
+}
+
+// Done reports whether the fragment has fully terminated.
+func (f *Fragment) Done() bool { return f.done }
+
+// Processed returns the number of input tuples consumed so far.
+func (f *Fragment) Processed() int64 { return f.processed }
+
+// Remaining returns the number of input tuples still to consume.
+func (f *Fragment) Remaining() int { return f.In.Remaining() }
+
+// NextArrival proxies the input source.
+func (f *Fragment) NextArrival() (time.Duration, bool) { return f.In.NextArrival() }
+
+// Runnable reports whether at least one input tuple is available now or the
+// fragment has retryable pending output.
+func (f *Fragment) Runnable(now time.Duration) bool {
+	if f.done {
+		return false
+	}
+	return len(f.pending) > 0 || f.In.Available(now) > 0
+}
+
+// sink delivers one terminal-ready tuple; false means the memory grant is
+// exhausted (only possible for TermBuild).
+func (f *Fragment) sink(out relation.Tuple) bool {
+	switch f.Term {
+	case TermBuild:
+		// Reserve before charging so a failed insert costs nothing and can
+		// be retried when memory is freed.
+		if !f.rt.buildInsert(f.Chain.BuildsFor, out) {
+			return false
+		}
+		f.rt.Costs.ChargeMove()
+		return true
+	case TermTemp:
+		f.rt.Costs.ChargeMove()
+		f.Temp.Append(out)
+		f.rt.CountMaterialized(1)
+		return true
+	case TermOutput:
+		f.rt.emitOutput()
+		return true
+	default:
+		panic("exec: unknown terminal")
+	}
+}
+
+// applyTuple pushes one input tuple through the fragment's probe steps and
+// returns the terminal-ready results. Cost charging happens inline.
+func (f *Fragment) applyTuple(t relation.Tuple) []relation.Tuple {
+	if f.QueueInput {
+		f.rt.Costs.ChargeReceive()
+	}
+	f.rt.Costs.ChargeMove()
+	if f.hasPred && t[f.predIdx] >= f.predLess {
+		return nil
+	}
+	cur := []relation.Tuple{t}
+	for _, s := range f.steps {
+		ts := f.rt.table(s.join)
+		if !ts.complete {
+			panic(fmt.Sprintf("exec: %s probes incomplete table of J%d", f.Label, s.join.ID))
+		}
+		var next []relation.Tuple
+		for _, u := range cur {
+			f.rt.Costs.ChargeProbe()
+			for _, m := range ts.ht.Probe(u[s.probeIdx]) {
+				f.rt.Costs.ChargeResult()
+				next = append(next, relation.Concat(u, m))
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// ProcessBatch consumes up to max input tuples at the current virtual time,
+// charging all costs. It returns the number of inputs consumed and whether
+// the fragment hit a memory overflow (in which case it self-suspends with
+// its unsunk outputs pending and must not run again until memory is freed).
+func (f *Fragment) ProcessBatch(max int) (int, bool) {
+	if f.done {
+		return 0, false
+	}
+	// Retry output stranded by a previous overflow first.
+	for len(f.pending) > 0 {
+		if !f.sink(f.pending[0]) {
+			return 0, true
+		}
+		f.pending = f.pending[1:]
+	}
+	n := 0
+	for n < max {
+		now := f.rt.Now()
+		if f.In.Available(now) == 0 {
+			break
+		}
+		t := f.In.Pop(now)
+		if f.processed == 0 {
+			f.rt.Trace.Add(now, sim.EvBatch, "%s first batch", f.Label)
+		}
+		f.processed++
+		n++
+		outs := f.applyTuple(t)
+		for i, out := range outs {
+			if !f.sink(out) {
+				f.pending = append(f.pending, outs[i:]...)
+				return n, true
+			}
+		}
+	}
+	f.maybeFinish()
+	return n, false
+}
+
+// maybeFinish completes the fragment when its input is exhausted.
+func (f *Fragment) maybeFinish() {
+	if f.done || len(f.pending) > 0 || !f.In.Exhausted() {
+		return
+	}
+	switch f.Term {
+	case TermBuild:
+		f.rt.completeTable(f.Chain.BuildsFor)
+	case TermTemp:
+		f.Temp.Close()
+	}
+	// The hash tables this fragment probed are now fully consumed: in a
+	// tree-shaped QEP each table is probed by exactly one chain, so their
+	// memory can be released.
+	for _, s := range f.steps {
+		f.rt.releaseTable(s.join)
+	}
+	f.done = true
+	f.rt.Trace.Add(f.rt.Now(), sim.EvFragmentEnd, "%s done (%d tuples in)", f.Label, f.processed)
+}

@@ -1,0 +1,73 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/mem"
+	"dqs/internal/sim"
+)
+
+// RunMA executes the Materialize-All strategy of the query-scrambling work
+// the paper compares against (§5.1.2): phase 1 drains every wrapper to the
+// local disk concurrently (overlapping all delivery delays, at full I/O
+// cost); phase 2 then runs the plan with iterator-model scheduling over the
+// local temps.
+func RunMA(rt *Runtime) (Result, error) {
+	// Phase 1: one materialization fragment per wrapper, serviced
+	// round-robin as data arrives.
+	frags := make([]*Fragment, 0, len(rt.Dec.Chains))
+	temps := make(map[string]*mem.Temp, len(rt.Dec.Chains))
+	for _, c := range rt.Dec.Chains {
+		f := rt.NewMFSync(c)
+		frags = append(frags, f)
+		temps[c.Scan.Rel.Name] = f.Temp
+	}
+	rt.Trace.Add(rt.Now(), sim.EvPhase, "MA phase 1: materialize %d relations", len(frags))
+	for {
+		progressed := false
+		alldone := true
+		for _, f := range frags {
+			if f.Done() {
+				continue
+			}
+			alldone = false
+			if f.Runnable(rt.Now()) {
+				if _, overflow := f.ProcessBatch(rt.Cfg.BatchTuples); overflow {
+					return Result{}, fmt.Errorf("%w (fragment %s)", ErrMemoryExceeded, f.Label)
+				}
+				progressed = true
+			}
+		}
+		if alldone {
+			break
+		}
+		if !progressed {
+			// Every unfinished wrapper is quiet: stall to the earliest
+			// arrival.
+			var next time.Duration
+			found := false
+			for _, f := range frags {
+				if f.Done() {
+					continue
+				}
+				if at, ok := f.NextArrival(); ok && (!found || at < next) {
+					next, found = at, true
+				}
+			}
+			if !found {
+				return Result{}, fmt.Errorf("exec: MA phase 1 deadlocked with unfinished fragments")
+			}
+			rt.Clock.Stall(next)
+		}
+	}
+	rt.Trace.Add(rt.Now(), sim.EvPhase, "MA phase 2: local execution")
+	// Phase 2: iterator-model execution over the local temps.
+	for _, c := range IteratorOrder(rt.Dec) {
+		f := rt.NewCFSync(c, temps[c.Scan.Rel.Name])
+		if err := drain(rt, f); err != nil {
+			return Result{}, err
+		}
+	}
+	return rt.Finish("MA"), nil
+}

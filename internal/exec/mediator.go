@@ -1,0 +1,142 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/comm"
+	"dqs/internal/mem"
+	"dqs/internal/operator"
+	"dqs/internal/plan"
+	"dqs/internal/relation"
+	"dqs/internal/sim"
+	"dqs/internal/source"
+)
+
+// Mediator is the shared execution site: one mono-processor clock, one
+// local disk, one memory pool, one communication manager. A single query
+// uses it through NewRuntime; the multi-query extension (the paper's §6
+// future work) attaches several Runtimes to one Mediator so concurrent
+// queries contend for CPU, disk, memory and scheduling attention exactly
+// like fragments of one query do.
+type Mediator struct {
+	Cfg   Config
+	Clock *sim.Clock
+	Disk  *sim.Disk
+	Costs operator.Costs
+	Mem   *mem.Manager
+	Temps *mem.TempStore
+	CM    *comm.Manager
+	Trace *sim.Trace
+
+	rng     *sim.RNG
+	queries int
+
+	replans    int
+	degrades   int
+	timeouts   int
+	memRepairs int
+}
+
+// NewMediator builds an empty mediator from a validated configuration.
+func NewMediator(cfg Config) (*Mediator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	clock := sim.NewClock()
+	disk := sim.NewDisk(cfg.Params, clock)
+	memMgr, err := mem.NewManager(cfg.MemoryBytes)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mediator{
+		Cfg:   cfg,
+		Clock: clock,
+		Disk:  disk,
+		Costs: operator.Costs{CPU: sim.CPU{Clock: clock, Params: cfg.Params}},
+		Mem:   memMgr,
+		Temps: mem.NewTempStore(cfg.Params, disk, clock),
+		CM:    comm.NewManager(),
+		Trace: cfg.Trace,
+		rng:   sim.NewRNG(cfg.Seed),
+	}
+	m.CM.ChangeFactor = cfg.RateChangeFactor
+	return m, nil
+}
+
+// Now returns the mediator's virtual time.
+func (m *Mediator) Now() time.Duration { return m.Clock.Now() }
+
+// AddQuery attaches one query to the mediator: its plan is decomposed, its
+// wrappers start producing (at the current virtual time zero of a fresh
+// mediator), and a Runtime scoped to this query is returned. label scopes
+// wrapper names in the communication manager so concurrent queries reading
+// the same relation get independent sub-queries, as the mediator/wrapper
+// architecture prescribes.
+func (m *Mediator) AddQuery(label string, root *plan.Node, ds relation.Dataset, deliveries map[string]Delivery) (*Runtime, error) {
+	dec, err := plan.Decompose(root)
+	if err != nil {
+		return nil, err
+	}
+	m.queries++
+	rt := &Runtime{
+		Med:     m,
+		Label:   label,
+		Cfg:     m.Cfg,
+		Clock:   m.Clock,
+		Disk:    m.Disk,
+		Costs:   m.Costs,
+		Mem:     m.Mem,
+		Temps:   m.Temps,
+		CM:      m.CM,
+		Root:    root,
+		Dec:     dec,
+		Trace:   m.Trace,
+		sources: make(map[string]*source.Source),
+		qsrcs:   make(map[string]*queueSource),
+		tables:  make(map[int]*tableState),
+	}
+	rng := m.rng.Fork(int64(m.queries))
+	netTime := m.Cfg.Params.NetworkTupleTime()
+	for i, c := range dec.Chains {
+		name := c.Scan.Rel.Name
+		table, ok := ds[name]
+		if !ok {
+			return nil, fmt.Errorf("exec: dataset is missing relation %q", name)
+		}
+		if table.Rel.Cardinality != len(table.Rows) {
+			return nil, fmt.Errorf("exec: relation %q: catalog cardinality %d != generated rows %d",
+				name, table.Rel.Cardinality, len(table.Rows))
+		}
+		cmName := rt.cmName(name)
+		q := m.CM.Register(cmName, m.Cfg.QueueTuples)
+		d := deliveries[name]
+		opts := []source.Option{source.WithMeanWait(d.MeanWait)}
+		if len(d.Phases) > 0 {
+			opts = []source.Option{source.WithPhases(d.Phases...)}
+		}
+		if d.InitialDelay > 0 {
+			opts = append(opts, source.WithInitialDelay(d.InitialDelay))
+		}
+		src, err := source.New(cmName, table, q, rng.Fork(int64(i+1)), netTime, opts...)
+		if err != nil {
+			return nil, err
+		}
+		rt.sources[name] = src
+		rt.qsrcs[name] = newQueueSource(q, src)
+	}
+	for _, j := range plan.Joins(root) {
+		rt.tables[j.ID] = &tableState{
+			join: j,
+			ht:   operator.NewHashTable(j.Build.Schema.MustIndexOf(j.BuildKey)),
+		}
+	}
+	return rt, nil
+}
+
+// CountReplan, CountDegrade, CountTimeout and CountMemRepair accumulate
+// scheduler activity across all attached queries.
+func (m *Mediator) CountReplan()    { m.replans++ }
+func (m *Mediator) CountDegrade()   { m.degrades++ }
+func (m *Mediator) CountTimeout()   { m.timeouts++ }
+func (m *Mediator) CountMemRepair() { m.memRepairs++ }

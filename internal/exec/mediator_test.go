@@ -1,0 +1,142 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dqs/internal/workload"
+)
+
+func TestMediatorLabelScopesWrapperNames(t *testing.T) {
+	med, err := NewMediator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := smallFig5(t)
+	w2, err := workload.Fig5Small(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := med.AddQuery("q1", w1.Root, w1.Dataset, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := med.AddQuery("q2", w2.Root, w2.Dataset, nil); err != nil {
+		t.Fatal(err)
+	}
+	names := med.CM.Names()
+	if len(names) != 12 {
+		t.Fatalf("CM has %d queues, want 12", len(names))
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, "q1:") && !strings.HasPrefix(n, "q2:") {
+			t.Errorf("unscoped wrapper name %q", n)
+		}
+	}
+}
+
+func TestMediatorDuplicateLabelPanics(t *testing.T) {
+	med, err := NewMediator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := smallFig5(t)
+	if _, err := med.AddQuery("q", w.Root, w.Dataset, nil); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label (duplicate CM queues) did not panic")
+		}
+	}()
+	med.AddQuery("q", w.Root, w.Dataset, nil) //nolint:errcheck // panics first
+}
+
+func TestMediatorSharedClockAndMemory(t *testing.T) {
+	med, err := NewMediator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := smallFig5(t)
+	rt1, err := med.AddQuery("q1", w.Root, w.Dataset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := workload.Fig5Small(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := med.AddQuery("q2", w2.Root, w2.Dataset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt1.Clock != rt2.Clock || rt1.Mem != rt2.Mem || rt1.Disk != rt2.Disk || rt1.CM != rt2.CM {
+		t.Error("runtimes do not share the mediator's components")
+	}
+	rt1.Clock.Work(time.Second)
+	if rt2.Now() != time.Second {
+		t.Error("clock advance not visible across runtimes")
+	}
+}
+
+func TestMediatorWaitUsesScopedNames(t *testing.T) {
+	med, err := NewMediator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := smallFig5(t)
+	del := uniform(w, 300*time.Microsecond)
+	rt, err := med.AddQuery("q1", w.Root, w.Dataset, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := rt.Dec.ChainOf("A")
+	// Before any observation: fallback estimate.
+	if got := rt.Wait(c); got != rt.Cfg.InitialWaitEstimate {
+		t.Errorf("initial Wait = %v", got)
+	}
+	// Let arrivals accumulate and be observed under the scoped name.
+	rt.Clock.Stall(100 * time.Millisecond)
+	med.CM.Observe(rt.Now())
+	got := rt.Wait(c)
+	if got < 200*time.Microsecond || got > 400*time.Microsecond {
+		t.Errorf("observed Wait = %v, want ≈300µs (scoped-name lookup)", got)
+	}
+}
+
+func TestEstimationErrorsReported(t *testing.T) {
+	w, err := workload.Fig5SmallSkewed(1, 2) // estimates 2x too high
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSEQ(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := rt.EstimationErrors()
+	if len(errs) != 5 { // five builds (the root chain outputs)
+		t.Fatalf("%d estimation records, want 5", len(errs))
+	}
+	// Build-side estimates combine the skew multiplicatively along the
+	// chain, so the worst factor must be at least 2.
+	if res.MaxEstError < 2 {
+		t.Errorf("MaxEstError = %v, want >= 2 with skew 2", res.MaxEstError)
+	}
+	// An accurate workload stays near 1.
+	w2 := smallFig5(t)
+	rt2, err := NewRuntime(testConfig(), w2.Root, w2.Dataset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := RunSEQ(rt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MaxEstError > 1.2 {
+		t.Errorf("accurate workload MaxEstError = %v, want ≈1", res2.MaxEstError)
+	}
+}

@@ -1,0 +1,79 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/sim"
+)
+
+// Result summarizes one query execution.
+type Result struct {
+	Strategy string
+	// ResponseTime is the virtual time at which the last result tuple was
+	// produced — the metric of every figure in the paper.
+	ResponseTime time.Duration
+	// BusyTime is mediator CPU (and synchronous-I/O wait) time.
+	BusyTime time.Duration
+	// IdleTime is time the query engine was stalled waiting for data.
+	IdleTime time.Duration
+	// OutputRows is the number of result tuples.
+	OutputRows int64
+	// Disk aggregates local-disk activity.
+	Disk sim.DiskStats
+	// PeakMemBytes is the high-water mark of the memory grant.
+	PeakMemBytes int64
+	// MaterializedTuples counts tuples spilled to temporary relations.
+	MaterializedTuples int64
+	// Replans, Degradations, Timeouts and MemRepairs count scheduler
+	// activity (zero for the static strategies).
+	Replans      int
+	Degradations int
+	Timeouts     int
+	MemRepairs   int
+	// MaxEstError is the worst estimate-vs-actual factor across this
+	// query's completed hash-table builds — the execution statistics §3.1
+	// says should flow back to the dynamic optimizer.
+	MaxEstError float64
+}
+
+// TotalWork returns busy CPU time plus disk busy time: the "total work"
+// metric the paper's §6 discusses as the price of response-time gains.
+func (r Result) TotalWork() time.Duration {
+	return r.BusyTime + r.Disk.BusyTime
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: response=%.3fs busy=%.3fs idle=%.3fs out=%d io(r/w)=%d/%d mat=%d",
+		r.Strategy, r.ResponseTime.Seconds(), r.BusyTime.Seconds(), r.IdleTime.Seconds(),
+		r.OutputRows, r.Disk.Reads, r.Disk.Writes, r.MaterializedTuples)
+}
+
+// Finish snapshots the runtime into a Result for the named strategy, with
+// the response time being the current virtual time.
+func (rt *Runtime) Finish(strategy string) Result {
+	return rt.FinishAt(strategy, rt.Clock.Now())
+}
+
+// FinishAt is Finish with an explicit response time, used by multi-query
+// execution where each query completes at its own instant while the shared
+// mediator keeps running.
+func (rt *Runtime) FinishAt(strategy string, response time.Duration) Result {
+	m := rt.Med
+	return Result{
+		Strategy:           strategy,
+		ResponseTime:       response,
+		BusyTime:           rt.Clock.Busy(),
+		IdleTime:           rt.Clock.Idle(),
+		OutputRows:         rt.outputRows,
+		Disk:               rt.Disk.Stats(),
+		PeakMemBytes:       rt.Mem.Peak(),
+		MaterializedTuples: rt.matTuples,
+		Replans:            m.replans,
+		Degradations:       m.degrades,
+		Timeouts:           m.timeouts,
+		MemRepairs:         m.memRepairs,
+		MaxEstError:        rt.MaxEstErrorFactor(),
+	}
+}

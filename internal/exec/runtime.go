@@ -1,0 +1,285 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dqs/internal/comm"
+	"dqs/internal/mem"
+	"dqs/internal/operator"
+	"dqs/internal/plan"
+	"dqs/internal/relation"
+	"dqs/internal/sim"
+	"dqs/internal/source"
+)
+
+// Runtime is one query execution in flight on a Mediator: the query's plan
+// decomposition, its wrapper sources and its hash-table registry. The
+// clock, disk, memory pool and communication manager are the mediator's —
+// shared with any concurrently attached queries. Every strategy (SEQ, MA,
+// SCR, DSE) drives a Runtime; constructing a fresh Mediator per measured
+// run keeps runs independent and deterministic.
+type Runtime struct {
+	Med *Mediator
+	// Label scopes this query's wrapper names inside the shared CM; empty
+	// for single-query executions.
+	Label string
+
+	Cfg   Config
+	Clock *sim.Clock
+	Disk  *sim.Disk
+	Costs operator.Costs
+	Mem   *mem.Manager
+	Temps *mem.TempStore
+	CM    *comm.Manager
+	Root  *plan.Node
+	Dec   *plan.Decomposition
+	Trace *sim.Trace
+
+	sources map[string]*source.Source
+	qsrcs   map[string]*queueSource
+	tables  map[int]*tableState
+
+	outputRows int64
+	matTuples  int64
+}
+
+// tableState tracks one join's hash table through its life cycle.
+type tableState struct {
+	join     *plan.Node
+	ht       *operator.HashTable
+	rows     int64
+	complete bool
+	reserved int64
+	released bool
+}
+
+// NewRuntime assembles a fresh mediator running a single query: the plan
+// rooted at root over the given dataset, with per-wrapper delivery
+// behaviour taken from deliveries (missing entries mean instantaneous
+// delivery).
+func NewRuntime(cfg Config, root *plan.Node, ds relation.Dataset, deliveries map[string]Delivery) (*Runtime, error) {
+	med, err := NewMediator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return med.AddQuery("", root, ds, deliveries)
+}
+
+// cmName returns the communication-manager name of one of this query's
+// wrappers.
+func (rt *Runtime) cmName(rel string) string {
+	if rt.Label == "" {
+		return rel
+	}
+	return rt.Label + ":" + rel
+}
+
+// Now returns the current virtual time.
+func (rt *Runtime) Now() time.Duration { return rt.Clock.Now() }
+
+// QueueSource returns the tuple source of a wrapper-scanned relation.
+func (rt *Runtime) QueueSource(rel string) TupleSource { return rt.qsrcs[rel] }
+
+// Source returns the simulated wrapper of a relation.
+func (rt *Runtime) Source(rel string) *source.Source { return rt.sources[rel] }
+
+// table returns the registry entry of a join.
+func (rt *Runtime) table(j *plan.Node) *tableState {
+	ts, ok := rt.tables[j.ID]
+	if !ok {
+		panic(fmt.Sprintf("exec: no table registered for join J%d", j.ID))
+	}
+	return ts
+}
+
+// TableComplete reports whether the hash table of join j has been fully
+// built.
+func (rt *Runtime) TableComplete(j *plan.Node) bool { return rt.table(j).complete }
+
+// TableRows returns the exact number of tuples built into join j's table so
+// far (final once the table is complete; preserved after release).
+func (rt *Runtime) TableRows(j *plan.Node) int64 { return rt.table(j).rows }
+
+// TableReserved returns the memory currently reserved by join j's table.
+func (rt *Runtime) TableReserved(j *plan.Node) int64 { return rt.table(j).reserved }
+
+// TableReleased reports whether join j's table memory has been released.
+func (rt *Runtime) TableReleased(j *plan.Node) bool { return rt.table(j).released }
+
+// EstBuildBytes returns the estimated memory a chain's terminal build will
+// consume (zero for output-terminated chains).
+func (rt *Runtime) EstBuildBytes(c *plan.Chain) int64 {
+	if c.BuildsFor == nil {
+		return 0
+	}
+	return int64(c.Root().EstRows) * int64(rt.Cfg.Params.TupleSize)
+}
+
+// buildInsert adds one tuple to join j's table, reserving its memory.
+// It returns false when the memory grant is exhausted.
+func (rt *Runtime) buildInsert(j *plan.Node, t relation.Tuple) bool {
+	ts := rt.table(j)
+	if ts.complete {
+		panic(fmt.Sprintf("exec: insert into completed table of J%d", j.ID))
+	}
+	n := int64(rt.Cfg.Params.TupleSize)
+	if !rt.Mem.Reserve(n) {
+		return false
+	}
+	ts.reserved += n
+	ts.ht.Insert(t)
+	ts.rows++
+	return true
+}
+
+// completeTable marks join j's table as fully built.
+func (rt *Runtime) completeTable(j *plan.Node) {
+	rt.table(j).complete = true
+}
+
+// releaseTable frees the memory of join j's table once its probing fragment
+// has fully consumed it. Releasing twice is a no-op (split fragments may
+// both reach the release point of already-released lower tables).
+func (rt *Runtime) releaseTable(j *plan.Node) {
+	ts := rt.table(j)
+	if ts.released {
+		return
+	}
+	rt.Mem.Release(ts.reserved)
+	ts.reserved = 0
+	ts.released = true
+	ts.ht = nil
+}
+
+// emitOutput counts one result tuple leaving the engine.
+func (rt *Runtime) emitOutput() { rt.outputRows++ }
+
+// OutputRows returns the number of result tuples produced so far.
+func (rt *Runtime) OutputRows() int64 { return rt.outputRows }
+
+// predSelectivity returns the estimated surviving fraction of a chain's
+// pushed-down predicate (1 when absent).
+func predSelectivity(c *plan.Chain) float64 {
+	if c.Scan.Rel.Cardinality == 0 {
+		return 1
+	}
+	return c.Scan.EstRows / float64(c.Scan.Rel.Cardinality)
+}
+
+// stepFanout returns the expected output tuples per probe-input tuple of
+// join j.
+func stepFanout(j *plan.Node) float64 {
+	if j.Probe.EstRows <= 0 {
+		return 0
+	}
+	return j.EstRows / j.Probe.EstRows
+}
+
+// PerTupleCost estimates the mediator CPU time c_p spent per input tuple of
+// a fragment covering chain steps [fromStep, toStep) with the given input
+// kind and terminal. It is the c_p of the paper's critical degree (§4.3)
+// and of the analytic lower bound.
+func (rt *Runtime) PerTupleCost(c *plan.Chain, fromStep, toStep int, queueInput bool, term TerminalKind) time.Duration {
+	p := rt.Cfg.Params
+	var instr float64
+	expected := 1.0
+	if queueInput {
+		instr += float64(p.ReceiveTupleInstr() + p.MoveTupleInstr)
+		expected = predSelectivity(c)
+	} else {
+		instr += float64(p.MoveTupleInstr)
+	}
+	for i := fromStep; i < toStep && i < len(c.Joins); i++ {
+		j := c.Joins[i]
+		instr += expected * float64(p.HashSearchInstr)
+		expected *= stepFanout(j)
+		instr += expected * float64(p.ProduceResultInstr)
+	}
+	if term == TermBuild || term == TermTemp {
+		instr += expected * float64(p.MoveTupleInstr)
+	}
+	return p.InstrTime(int64(instr))
+}
+
+// Wait returns the scheduler's best waiting-time knowledge for a chain's
+// wrapper: the CM estimate when available, the configured initial estimate
+// otherwise.
+func (rt *Runtime) Wait(c *plan.Chain) time.Duration {
+	return rt.CM.Wait(rt.cmName(c.Scan.Rel.Name), rt.Cfg.InitialWaitEstimate)
+}
+
+// TupleIOTime returns IO_p of the paper's bmi formula: the amortized
+// sequential disk time to read or write one tuple of a materialized
+// fragment result.
+func (rt *Runtime) TupleIOTime() time.Duration {
+	return rt.Cfg.Params.PageTransferTime() / time.Duration(rt.Cfg.Params.TuplesPerPage())
+}
+
+// CountReplan, CountDegrade, CountTimeout and CountMemRepair bump the
+// mediator-level statistics from strategy code.
+func (rt *Runtime) CountReplan()    { rt.Med.CountReplan() }
+func (rt *Runtime) CountDegrade()   { rt.Med.CountDegrade() }
+func (rt *Runtime) CountTimeout()   { rt.Med.CountTimeout() }
+func (rt *Runtime) CountMemRepair() { rt.Med.CountMemRepair() }
+
+// CountMaterialized adds n tuples to the materialization volume statistic.
+func (rt *Runtime) CountMaterialized(n int64) { rt.matTuples += n }
+
+// EstError records the optimizer's estimate versus the exact cardinality of
+// one completed hash-table build — the statistics the paper's §3.1 says the
+// engine should collect for the dynamic optimizer.
+type EstError struct {
+	Join      int // join node ID
+	Estimated float64
+	Actual    int64
+}
+
+// Factor returns the error magnitude: max(actual/est, est/actual), 1 for a
+// perfect estimate.
+func (e EstError) Factor() float64 {
+	a, b := e.Estimated, float64(e.Actual)
+	if a <= 0 || b <= 0 {
+		if a == b {
+			return 1
+		}
+		return 0 // degenerate: one side empty
+	}
+	if a > b {
+		return a / b
+	}
+	return b / a
+}
+
+// EstimationErrors reports estimate-vs-actual for every completed build of
+// this query, in join-ID order.
+func (rt *Runtime) EstimationErrors() []EstError {
+	var out []EstError
+	for _, c := range rt.Dec.Chains {
+		j := c.BuildsFor
+		if j == nil || !rt.table(j).complete {
+			continue
+		}
+		out = append(out, EstError{
+			Join:      j.ID,
+			Estimated: j.Build.EstRows,
+			Actual:    rt.TableRows(j),
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Join < out[k].Join })
+	return out
+}
+
+// MaxEstErrorFactor returns the worst estimation-error factor observed
+// across completed builds (1 when everything was exact or nothing
+// completed).
+func (rt *Runtime) MaxEstErrorFactor() float64 {
+	worst := 1.0
+	for _, e := range rt.EstimationErrors() {
+		if f := e.Factor(); f > worst {
+			worst = f
+		}
+	}
+	return worst
+}

@@ -1,0 +1,131 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/plan"
+	"dqs/internal/sim"
+)
+
+// RunScramble executes the query with phase-1 query scrambling (§1.2): the
+// classic iterator engine augmented with a timeout reaction. The engine
+// follows the iterator-model chain order; when the running chain starves
+// for longer than ScrambleTimeout, a scrambling step fires — the current
+// operator tree is suspended (paying the switch overhead of saving its
+// in-flight state) and another runnable, C-schedulable chain is activated.
+// The suspended chain resumes as soon as its data arrives.
+//
+// The paper's two criticisms are both visible in this implementation: the
+// timeout must fully elapse (idle) before any reaction, so repeated
+// sub-timeout gaps (slow delivery) degrade SCR to SEQ; and a delayed *last*
+// chain leaves nothing to scramble to (§1.2's "no more work to scramble").
+func RunScramble(rt *Runtime) (Result, error) {
+	order := IteratorOrder(rt.Dec)
+	frags := make([]*Fragment, len(order))
+	tablesReady := func(c *plan.Chain) bool {
+		for _, j := range c.Joins {
+			if !rt.TableComplete(j) {
+				return false
+			}
+		}
+		return true
+	}
+	scrambles := 0
+	cur := -1
+	for {
+		// Instantiate fragments as chains become C-schedulable, and check
+		// for overall completion.
+		allDone := true
+		for i, c := range order {
+			if frags[i] != nil && frags[i].Done() {
+				continue
+			}
+			allDone = false
+			if frags[i] == nil && tablesReady(c) {
+				frags[i] = rt.NewPCFragment(c)
+			}
+		}
+		if allDone {
+			break
+		}
+		// The engine works on the earliest unfinished instantiated chain
+		// unless a scrambling step moved it elsewhere.
+		if cur < 0 || frags[cur] == nil || frags[cur].Done() {
+			cur = -1
+			for i := range order {
+				if frags[i] != nil && !frags[i].Done() {
+					cur = i
+					break
+				}
+			}
+			if cur < 0 {
+				return Result{}, fmt.Errorf("exec: scrambling found no schedulable chain")
+			}
+		}
+		f := frags[cur]
+		// A suspended earlier chain resumes as soon as its data arrives.
+		for i := 0; i < cur; i++ {
+			if frags[i] != nil && !frags[i].Done() && frags[i].Runnable(rt.Now()) {
+				cur = i
+				f = frags[i]
+				break
+			}
+		}
+		if f.Runnable(rt.Now()) {
+			if _, overflow := f.ProcessBatch(rt.Cfg.BatchTuples); overflow {
+				return Result{}, fmt.Errorf("%w (fragment %s)", ErrMemoryExceeded, f.Label)
+			}
+			continue
+		}
+		if f.In.Exhausted() {
+			f.ProcessBatch(0)
+			continue
+		}
+		arrival, ok := f.NextArrival()
+		if !ok {
+			return Result{}, fmt.Errorf("exec: fragment %s starved with no future arrivals", f.Label)
+		}
+		now := rt.Now()
+		if arrival-now <= rt.Cfg.ScrambleTimeout {
+			// Data returns before the timeout would fire: scrambling never
+			// reacts, exactly like SEQ.
+			rt.Clock.Stall(arrival)
+			continue
+		}
+		// Timeout: the engine idled the full timeout before reacting.
+		rt.Clock.Stall(now + rt.Cfg.ScrambleTimeout)
+		alt := -1
+		for i := range order {
+			if i == cur || frags[i] == nil || frags[i].Done() {
+				continue
+			}
+			if frags[i].Runnable(rt.Now()) {
+				alt = i
+				break
+			}
+		}
+		if alt < 0 {
+			// Nothing to scramble to (the paper's "last accessed source"
+			// failure case): wait out the delay.
+			rt.Trace.Add(rt.Now(), sim.EvTimeout, "scramble found no alternative to %s", f.Label)
+			rt.Clock.Stall(arrival)
+			continue
+		}
+		// Scrambling step: suspend the current tree, activate another.
+		scrambles++
+		rt.CountReplan()
+		rt.Costs.CPU.Charge(rt.Cfg.ScrambleSwitchInstr)
+		rt.Trace.Add(rt.Now(), sim.EvSchedule, "scramble step %d: %s -> %s",
+			scrambles, f.Label, frags[alt].Label)
+		cur = alt
+	}
+	res := rt.Finish("SCR")
+	return res, nil
+}
+
+// scrambleStepDuration is exported for tests: the idle time one scrambling
+// reaction costs before any useful work happens.
+func scrambleStepDuration(cfg Config) time.Duration {
+	return cfg.ScrambleTimeout + cfg.Params.InstrTime(cfg.ScrambleSwitchInstr)
+}

@@ -1,0 +1,117 @@
+package exec
+
+import (
+	"testing"
+	"time"
+
+	"dqs/internal/reftest"
+	"dqs/internal/workload"
+)
+
+func TestScrambleMatchesReference(t *testing.T) {
+	w := smallFig5(t)
+	rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, uniform(w, 10*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScramble(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := reftest.Count(w.Root, w.Dataset); res.OutputRows != want {
+		t.Errorf("SCR produced %d rows, reference says %d", res.OutputRows, want)
+	}
+}
+
+// TestScrambleEqualsSEQUnderSlowDelivery reproduces the paper's core
+// argument (§1.2, §5.4): per-tuple gaps never reach the scrambling timeout,
+// so SCR degenerates to the sequential execution.
+func TestScrambleEqualsSEQUnderSlowDelivery(t *testing.T) {
+	w := smallFig5(t)
+	del := uniform(w, 20*time.Microsecond)
+	del["A"] = Delivery{MeanWait: 500 * time.Microsecond} // slow but sub-timeout gaps
+	scr, err := RunScramble(mustRT(t, w, testConfig(), del))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunSEQ(mustRT(t, w, testConfig(), del))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scr.ResponseTime != seq.ResponseTime {
+		t.Errorf("SCR (%v) != SEQ (%v) under slow delivery", scr.ResponseTime, seq.ResponseTime)
+	}
+	if scr.Replans != 0 {
+		t.Errorf("SCR fired %d scrambling steps on sub-timeout gaps", scr.Replans)
+	}
+}
+
+// TestScrambleBeatsSEQOnInitialDelay reproduces what scrambling was built
+// for: a long initial delay triggers the timeout and other chains run
+// meanwhile.
+func TestScrambleBeatsSEQOnInitialDelay(t *testing.T) {
+	w := smallFig5(t)
+	del := uniform(w, 20*time.Microsecond)
+	// D is consumed first by the iterator order; delay it so SEQ sits
+	// idle while every other wrapper has work ready.
+	del["D"] = Delivery{MeanWait: 20 * time.Microsecond, InitialDelay: 2 * time.Second}
+	scr, err := RunScramble(mustRT(t, w, testConfig(), del))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunSEQ(mustRT(t, w, testConfig(), del))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scr.Replans == 0 {
+		t.Fatal("initial delay did not trigger scrambling")
+	}
+	if scr.ResponseTime >= seq.ResponseTime {
+		t.Errorf("SCR (%v) did not beat SEQ (%v) on an initial delay", scr.ResponseTime, seq.ResponseTime)
+	}
+	if scr.OutputRows != seq.OutputRows {
+		t.Errorf("SCR rows %d != SEQ rows %d", scr.OutputRows, seq.OutputRows)
+	}
+}
+
+// TestScrambleLastSourceFailureCase reproduces §1.2's first criticism: when
+// the delayed source is the last one accessed there is no work left to
+// scramble to, and the timeout idling is pure loss.
+func TestScrambleLastSourceFailureCase(t *testing.T) {
+	w := smallFig5(t)
+	del := uniform(w, 20*time.Microsecond)
+	// C feeds the root chain, which runs last in the iterator order.
+	del["C"] = Delivery{MeanWait: 20 * time.Microsecond, InitialDelay: 2 * time.Second}
+	scr, err := RunScramble(mustRT(t, w, testConfig(), del))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunSEQ(mustRT(t, w, testConfig(), del))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SCR cannot do better than SEQ here (nothing to overlap with by the
+	// time C's delay matters).
+	if scr.ResponseTime < seq.ResponseTime-time.Millisecond {
+		t.Errorf("SCR (%v) unexpectedly beat SEQ (%v) with the last source delayed",
+			scr.ResponseTime, seq.ResponseTime)
+	}
+}
+
+// TestScrambleStepDuration documents the fixed cost of one reaction.
+func TestScrambleStepDuration(t *testing.T) {
+	cfg := testConfig()
+	want := cfg.ScrambleTimeout + cfg.Params.InstrTime(cfg.ScrambleSwitchInstr)
+	if got := scrambleStepDuration(cfg); got != want {
+		t.Errorf("scrambleStepDuration = %v, want %v", got, want)
+	}
+}
+
+func mustRT(t *testing.T, w *workload.Workload, cfg Config, del map[string]Delivery) *Runtime {
+	t.Helper()
+	rt, err := NewRuntime(cfg, w.Root, w.Dataset, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}

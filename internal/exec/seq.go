@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"dqs/internal/plan"
+)
+
+// ErrMemoryExceeded reports that a static strategy ran out of query memory.
+// Only the dynamic engine (package core) can adapt to memory overflow; the
+// paper's experiments assume sufficient memory for the static strategies.
+var ErrMemoryExceeded = errors.New("exec: query memory grant exceeded")
+
+// IteratorOrder returns the order in which the classic iterator model
+// (open/next/close, paper §2.3) drains the pipeline chains of a plan: a
+// chain runs when the recursive open() of the plan reaches its terminal
+// blocking edge, strictly one chain at a time.
+func IteratorOrder(dec *plan.Decomposition) []*plan.Chain {
+	var order []*plan.Chain
+	var open func(n *plan.Node)
+	open = func(n *plan.Node) {
+		switch n.Kind {
+		case plan.KindHashJoin:
+			// open() builds the hash table: the builder chain below the
+			// blocking edge is drained completely, then the probe side is
+			// opened.
+			open(n.Build)
+			order = append(order, dec.BuilderOf(n))
+			open(n.Probe)
+		case plan.KindOutput:
+			open(n.Child)
+		}
+	}
+	open(dec.Root)
+	// Finally the root chain streams results out.
+	for _, c := range dec.Chains {
+		if c.BuildsFor == nil {
+			order = append(order, c)
+			break
+		}
+	}
+	return order
+}
+
+// RunSEQ executes the plan with the classic iterator model: pipeline chains
+// strictly one after another, the engine stalling whenever the current
+// chain's wrapper has not delivered. This is the paper's SEQ baseline.
+func RunSEQ(rt *Runtime) (Result, error) {
+	for _, c := range IteratorOrder(rt.Dec) {
+		f := rt.NewPCFragment(c)
+		if err := drain(rt, f); err != nil {
+			return Result{}, err
+		}
+	}
+	return rt.Finish("SEQ"), nil
+}
+
+// drain runs a single fragment to completion, stalling on data gaps.
+func drain(rt *Runtime, f *Fragment) error {
+	for !f.Done() {
+		n, overflow := f.ProcessBatch(rt.Cfg.BatchTuples)
+		if overflow {
+			return fmt.Errorf("%w (fragment %s)", ErrMemoryExceeded, f.Label)
+		}
+		if f.Done() {
+			return nil
+		}
+		if n == 0 {
+			at, ok := f.NextArrival()
+			if !ok {
+				return fmt.Errorf("exec: fragment %s starved with no future arrivals", f.Label)
+			}
+			rt.Clock.Stall(at)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"time"
+
+	"dqs/internal/comm"
+	"dqs/internal/mem"
+	"dqs/internal/relation"
+	"dqs/internal/source"
+)
+
+// TupleSource is the uniform input protocol of a query fragment: wrapper
+// queues and temp-relation readers both satisfy it, so the DQP schedules
+// pipeline chains, materialization fragments and complement fragments with
+// the same machinery.
+type TupleSource interface {
+	// Available returns how many tuples can be popped at virtual time now.
+	Available(now time.Duration) int
+	// NextArrival returns when the next tuple becomes available; false
+	// means no tuple will ever arrive again.
+	NextArrival() (time.Duration, bool)
+	// Pop consumes the next tuple; only legal when Available(now) > 0.
+	Pop(now time.Duration) relation.Tuple
+	// Exhausted reports that every tuple has been consumed.
+	Exhausted() bool
+	// Remaining returns the number of tuples not yet consumed.
+	Remaining() int
+}
+
+// queueSource adapts a wrapper queue plus its producing source.
+type queueSource struct {
+	q      *comm.Queue
+	src    *source.Source
+	popped int
+}
+
+// newQueueSource wires a queue/source pair into a TupleSource.
+func newQueueSource(q *comm.Queue, src *source.Source) *queueSource {
+	return &queueSource{q: q, src: src}
+}
+
+func (s *queueSource) Available(now time.Duration) int { return s.q.Available(now) }
+
+func (s *queueSource) NextArrival() (time.Duration, bool) {
+	if at, ok := s.q.NextArrival(); ok {
+		return at, true
+	}
+	// The source pumps eagerly, so an empty queue means it is exhausted.
+	return 0, false
+}
+
+func (s *queueSource) Pop(now time.Duration) relation.Tuple {
+	s.popped++
+	return s.q.Pop(now)
+}
+
+func (s *queueSource) Exhausted() bool { return s.src.Exhausted() && s.q.Len() == 0 }
+
+func (s *queueSource) Remaining() int { return s.src.Rows() - s.popped }
+
+// tempSource adapts a temp-relation reader; mem.Reader already implements
+// the full protocol.
+type tempSource struct{ *mem.Reader }
+
+var (
+	_ TupleSource = (*queueSource)(nil)
+	_ TupleSource = tempSource{}
+)

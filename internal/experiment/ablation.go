@@ -1,0 +1,238 @@
+package experiment
+
+import (
+	"fmt"
+
+	"errors"
+
+	"time"
+
+	"dqs/internal/core"
+	"dqs/internal/exec"
+	"dqs/internal/workload"
+)
+
+// ablation deliveries: one moderately slowed relation (A at 4.5 s
+// retrieval) over the w_min baseline — the regime where scheduling choices
+// matter most.
+func (o Options) ablationDeliveries(cfg exec.Config) func(w *workload.Workload) map[string]exec.Delivery {
+	card := o.cardOf("A")
+	wSlow := time.Duration(4.5 / float64(card) * float64(time.Second))
+	return func(w *workload.Workload) map[string]exec.Delivery {
+		d := uniformDeliveries(w, cfg.InitialWaitEstimate)
+		d["A"] = exec.Delivery{MeanWait: wSlow}
+		return d
+	}
+}
+
+// AblationBMT sweeps the benefit-materialization threshold (§4.4): bmt = 0
+// degrades every blocked critical chain, large bmt disables degradation.
+func AblationBMT(o Options) (*Figure, error) {
+	fig := NewFigure("Ablation/bmt", "benefit materialization threshold sweep",
+		"bmt", "value", "DSE(s)", "degradations", "mat(Ktuples)")
+	for _, bmt := range []float64{0, 0.25, 0.5, 1, 1.5, 2, 4, 1e9} {
+		cfg := o.config()
+		cfg.BMT = bmt
+		mk := o.ablationDeliveries(cfg)
+		var secs, degr, mat float64
+		for _, seed := range o.seeds() {
+			w, err := o.loadWorkload(seed)
+			if err != nil {
+				return nil, err
+			}
+			c := cfg
+			c.Seed = seed
+			res, err := runStrategy(w, c, mk(w), "DSE")
+			if err != nil {
+				return nil, err
+			}
+			secs += res.ResponseTime.Seconds()
+			degr += float64(res.Degradations)
+			mat += float64(res.MaterializedTuples) / 1000
+		}
+		n := float64(len(o.seeds()))
+		x := bmt
+		if x > 100 {
+			x = 100 // plot sentinel for "disabled"
+		}
+		fig.AddPoint(x, secs/n, degr/n, mat/n)
+	}
+	return fig, nil
+}
+
+// AblationBatch sweeps the DQP batch size (§3.2): tiny batches switch
+// fragments constantly; huge batches approach chain-at-a-time behaviour.
+func AblationBatch(o Options) (*Figure, error) {
+	fig := NewFigure("Ablation/batch", "DQP batch size sweep",
+		"batch(tuples)", "value", "DSE(s)", "replans")
+	for _, batch := range []int{16, 64, 256, 1024, 4096, 16384} {
+		cfg := o.config()
+		cfg.BatchTuples = batch
+		mk := o.ablationDeliveries(cfg)
+		var secs, replans float64
+		for _, seed := range o.seeds() {
+			w, err := o.loadWorkload(seed)
+			if err != nil {
+				return nil, err
+			}
+			c := cfg
+			c.Seed = seed
+			res, err := runStrategy(w, c, mk(w), "DSE")
+			if err != nil {
+				return nil, err
+			}
+			secs += res.ResponseTime.Seconds()
+			replans += float64(res.Replans)
+		}
+		n := float64(len(o.seeds()))
+		fig.AddPoint(float64(batch), secs/n, replans/n)
+	}
+	return fig, nil
+}
+
+// AblationQueue sweeps the window size (queue capacity in pages): the
+// window bounds how much delivery the mediator can buffer ahead, which is
+// exactly what lets concurrent fragments overlap delays.
+func AblationQueue(o Options) (*Figure, error) {
+	fig := NewFigure("Ablation/queue", "wrapper queue (window) size sweep",
+		"queue(pages)", "response time (s)", "SEQ", "DSE")
+	for _, pages := range []int{1, 2, 4, 8, 16, 64} {
+		cfg := o.config()
+		cfg.QueueTuples = pages * cfg.Params.TuplesPerPage()
+		mk := o.ablationDeliveries(cfg)
+		values := make([]float64, 0, 2)
+		for _, s := range []string{"SEQ", "DSE"} {
+			v, err := avgResponse(o, cfg, s, mk)
+			if err != nil {
+				return nil, err
+			}
+			values = append(values, v)
+		}
+		fig.AddPoint(float64(pages), values...)
+	}
+	return fig, nil
+}
+
+// AblationMessage sweeps the message payload (pages per message), the one
+// Table 1 degree of freedom the paper does not pin down (see DESIGN.md §3).
+func AblationMessage(o Options) (*Figure, error) {
+	fig := NewFigure("Ablation/message", "message payload sweep",
+		"pages/msg", "response time (s)", "SEQ", "DSE")
+	for _, pages := range []int{1, 2, 4, 8, 16} {
+		cfg := o.config()
+		cfg.Params.PagesPerMessage = pages
+		mk := o.ablationDeliveries(cfg)
+		values := make([]float64, 0, 2)
+		for _, s := range []string{"SEQ", "DSE"} {
+			v, err := avgResponse(o, cfg, s, mk)
+			if err != nil {
+				return nil, err
+			}
+			values = append(values, v)
+		}
+		fig.AddPoint(float64(pages), values...)
+	}
+	return fig, nil
+}
+
+// AblationSkew sweeps systematic optimizer estimation error (the paper's
+// §1 "inaccuracy of estimates" problem): every join-output estimate is off
+// by the given factor while the data keeps its true selectivities. DSE's
+// scheduling decisions (criticality, memory fit, degradation) then work
+// from wrong numbers; the run must stay correct and should stay close to
+// the accurate-estimate response time.
+func AblationSkew(o Options) (*Figure, error) {
+	fig := NewFigure("Ablation/skew", "optimizer estimation-error sweep",
+		"skew(x)", "value", "DSE(s)", "memRepairs")
+	for _, skew := range []float64{0.25, 0.5, 1, 2, 4} {
+		cfg := o.config()
+		// A moderately tight grant makes estimate quality matter.
+		if o.Small {
+			cfg.MemoryBytes = 2 << 20
+		} else {
+			cfg.MemoryBytes = 20 << 20
+		}
+		mk := o.ablationDeliveries(cfg)
+		var secs, repairs float64
+		for _, seed := range o.seeds() {
+			w, err := loadSkewed(o, seed, skew)
+			if err != nil {
+				return nil, err
+			}
+			c := cfg
+			c.Seed = seed
+			res, err := runStrategy(w, c, mk(w), "DSE")
+			if err != nil {
+				return nil, fmt.Errorf("skew %v: %w", skew, err)
+			}
+			secs += res.ResponseTime.Seconds()
+			repairs += float64(res.MemRepairs)
+		}
+		n := float64(len(o.seeds()))
+		fig.AddPoint(skew, secs/n, repairs/n)
+	}
+	return fig, nil
+}
+
+// loadSkewed builds a skewed-estimate workload at the options' scale (the
+// skew invalidates the shared cache, so these are built fresh).
+func loadSkewed(o Options, seed int64, skew float64) (*workload.Workload, error) {
+	if o.Small {
+		w, err := workload.Fig5Small(seed)
+		if err != nil {
+			return nil, err
+		}
+		if skew == 1 {
+			return w, nil
+		}
+		// Rebuild the small workload with skewed stats.
+		return workload.Fig5SmallSkewed(seed, skew)
+	}
+	return workload.Fig5Skewed(seed, skew)
+}
+
+// AblationMemory sweeps the memory grant: below the workload's natural
+// footprint the DQO must repair the plan with materialization splits
+// (§4.2), trading I/O for feasibility. Grants too small for even a single
+// required hash table are genuinely infeasible and reported as -1.
+func AblationMemory(o Options) (*Figure, error) {
+	fig := NewFigure("Ablation/memory", "memory grant sweep (DSE); -1 = infeasible",
+		"grant(MB)", "value", "DSE(s)", "memRepairs", "peak(MB)")
+	grantsMB := []float64{3, 5, 8, 9, 10, 12, 16, 32, 64}
+	if o.Small {
+		grantsMB = []float64{0.3, 0.5, 0.8, 0.9, 1, 1.2, 1.6, 3.2, 6.4}
+	}
+	for _, mb := range grantsMB {
+		cfg := o.config()
+		cfg.MemoryBytes = int64(mb * (1 << 20))
+		mk := o.ablationDeliveries(cfg)
+		var secs, repairs, peak float64
+		infeasible := false
+		for _, seed := range o.seeds() {
+			w, err := o.loadWorkload(seed)
+			if err != nil {
+				return nil, err
+			}
+			c := cfg
+			c.Seed = seed
+			res, err := runStrategy(w, c, mk(w), "DSE")
+			if errors.Is(err, core.ErrInsufficientMemory) {
+				infeasible = true
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			secs += res.ResponseTime.Seconds()
+			repairs += float64(res.MemRepairs)
+			peak += float64(res.PeakMemBytes) / (1 << 20)
+		}
+		if infeasible {
+			fig.AddPoint(mb, -1, 0, 0)
+			continue
+		}
+		n := float64(len(o.seeds()))
+		fig.AddPoint(mb, secs/n, repairs/n, peak/n)
+	}
+	return fig, nil
+}

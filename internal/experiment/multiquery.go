@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/core"
+	"dqs/internal/exec"
+	"dqs/internal/workload"
+)
+
+// MultiQuery explores the paper's §6 future-work direction: several
+// integration queries executing concurrently on one mediator under a
+// single global dynamic scheduler. For each concurrency level it reports
+// the average per-query response time, the makespan (when the last query
+// finishes), the serial-execution total for comparison, and the resulting
+// throughput speedup — the response-time/throughput tradeoff §6 discusses.
+func MultiQuery(o Options) (*Figure, error) {
+	cfg := o.config()
+	// Scale the shared grant with concurrency so memory is not the story
+	// here (the memory ablation covers that axis).
+	cfg.MemoryBytes *= 4
+	wait := 50 * time.Microsecond
+	fig := NewFigure("MultiQuery", "concurrent queries on one mediator (DSE, global scheduler)",
+		"queries", "value", "avg-response(s)", "makespan(s)", "serial(s)", "speedup")
+	for _, n := range []int{1, 2, 3, 4} {
+		var avgResp, makespan, serial float64
+		for _, seed := range o.seeds() {
+			med, err := exec.NewMediator(withSeed(cfg, seed))
+			if err != nil {
+				return nil, err
+			}
+			var rts []*exec.Runtime
+			for i := 0; i < n; i++ {
+				w, err := o.loadQueryInstance(seed, i)
+				if err != nil {
+					return nil, err
+				}
+				rt, err := med.AddQuery(fmt.Sprintf("q%d", i+1), w.Root, w.Dataset, uniformDeliveries(w, wait))
+				if err != nil {
+					return nil, err
+				}
+				rts = append(rts, rt)
+			}
+			results, err := core.RunMultiDSE(med, rts)
+			if err != nil {
+				return nil, fmt.Errorf("n=%d: %w", n, err)
+			}
+			var sumResp, maxResp float64
+			for _, r := range results {
+				s := r.ResponseTime.Seconds()
+				sumResp += s
+				if s > maxResp {
+					maxResp = s
+				}
+			}
+			avgResp += sumResp / float64(n)
+			makespan += maxResp
+
+			// Serial reference: the same queries one after another on
+			// fresh mediators.
+			var tot float64
+			for i := 0; i < n; i++ {
+				w, err := o.loadQueryInstance(seed, i)
+				if err != nil {
+					return nil, err
+				}
+				rt, err := exec.NewRuntime(withSeed(cfg, seed), w.Root, w.Dataset, uniformDeliveries(w, wait))
+				if err != nil {
+					return nil, err
+				}
+				res, err := core.RunDSE(rt)
+				if err != nil {
+					return nil, err
+				}
+				tot += res.ResponseTime.Seconds()
+			}
+			serial += tot
+		}
+		reps := float64(len(o.seeds()))
+		avgResp /= reps
+		makespan /= reps
+		serial /= reps
+		speedup := 0.0
+		if makespan > 0 {
+			speedup = serial / makespan
+		}
+		fig.AddPoint(float64(n), avgResp, makespan, serial, speedup)
+	}
+	return fig, nil
+}
+
+func withSeed(cfg exec.Config, seed int64) exec.Config {
+	cfg.Seed = seed
+	return cfg
+}
+
+// loadQueryInstance returns the i-th concurrent query's workload: the
+// Figure-5 shape with per-instance data seeds so the queries are distinct.
+func (o Options) loadQueryInstance(seed int64, i int) (*workload.Workload, error) {
+	return o.loadWorkload(seed*17 + int64(i))
+}

@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/core"
+	"dqs/internal/exec"
+	"dqs/internal/workload"
+)
+
+// Options controls every experiment run.
+type Options struct {
+	// Seeds are the measurement repetitions (the paper averages 3 runs).
+	Seeds []int64
+	// Small switches to the 1/10-scale workload for quick runs and tests.
+	Small bool
+	// Config overrides the default execution configuration when non-nil.
+	Config *exec.Config
+}
+
+// DefaultOptions mirrors the paper's methodology: three repetitions at full
+// scale.
+func DefaultOptions() Options {
+	return Options{Seeds: []int64{1, 2, 3}}
+}
+
+func (o Options) seeds() []int64 {
+	if len(o.Seeds) == 0 {
+		return []int64{1}
+	}
+	return o.Seeds
+}
+
+func (o Options) config() exec.Config {
+	if o.Config != nil {
+		return *o.Config
+	}
+	return exec.DefaultConfig()
+}
+
+// ExecConfig returns the execution configuration the experiments will use.
+func (o Options) ExecConfig() exec.Config { return o.config() }
+
+// workloadCache memoizes generated datasets: experiments sweep many
+// configurations over the same few seeds, and generation dominates setup.
+var workloadCache = map[[2]int64]*workload.Workload{}
+
+// loadWorkload builds (or reuses) the Figure-5 workload at the requested
+// scale. Cached workloads are safe to share: datasets and plans are
+// read-only during execution.
+func (o Options) loadWorkload(seed int64) (*workload.Workload, error) {
+	key := [2]int64{seed, 0}
+	if o.Small {
+		key[1] = 1
+	}
+	if w, ok := workloadCache[key]; ok {
+		return w, nil
+	}
+	var w *workload.Workload
+	var err error
+	if o.Small {
+		w, err = workload.Fig5Small(seed)
+	} else {
+		w, err = workload.Fig5(seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	workloadCache[key] = w
+	return w, nil
+}
+
+// cardOf returns the cardinality of one Figure-5 relation at the options'
+// scale.
+func (o Options) cardOf(name string) int {
+	cards := map[string]int{
+		"A": workload.Fig5CardA, "B": workload.Fig5CardB, "C": workload.Fig5CardC,
+		"D": workload.Fig5CardD, "E": workload.Fig5CardE, "F": workload.Fig5CardF,
+	}
+	n := cards[name]
+	if o.Small {
+		n /= 10
+	}
+	return n
+}
+
+// runStrategy executes one strategy on a fresh runtime.
+func runStrategy(w *workload.Workload, cfg exec.Config, deliveries map[string]exec.Delivery, strategy string) (exec.Result, error) {
+	rt, err := exec.NewRuntime(cfg, w.Root, w.Dataset, deliveries)
+	if err != nil {
+		return exec.Result{}, err
+	}
+	switch strategy {
+	case "SEQ":
+		return exec.RunSEQ(rt)
+	case "MA":
+		return exec.RunMA(rt)
+	case "DSE":
+		return core.RunDSE(rt)
+	case "SCR":
+		return exec.RunScramble(rt)
+	case "DPHJ":
+		return exec.RunDPHJ(rt)
+	default:
+		return exec.Result{}, fmt.Errorf("experiment: unknown strategy %q", strategy)
+	}
+}
+
+// lowerBound computes LWB for a workload/delivery pair.
+func lowerBound(w *workload.Workload, cfg exec.Config, deliveries map[string]exec.Delivery) (time.Duration, error) {
+	rt, err := exec.NewRuntime(cfg, w.Root, w.Dataset, deliveries)
+	if err != nil {
+		return 0, err
+	}
+	return exec.LWB(rt), nil
+}
+
+// uniformDeliveries assigns the same waiting time to every wrapper.
+func uniformDeliveries(w *workload.Workload, wait time.Duration) map[string]exec.Delivery {
+	out := make(map[string]exec.Delivery, w.Catalog.Len())
+	for _, name := range w.Catalog.Names() {
+		out[name] = exec.Delivery{MeanWait: wait}
+	}
+	return out
+}
+
+// avgResponse averages the response time of a strategy across the option
+// seeds; the seed varies both the dataset and the delay draws.
+func avgResponse(o Options, cfg exec.Config, strategy string, mkDeliveries func(w *workload.Workload) map[string]exec.Delivery) (float64, error) {
+	var total float64
+	for _, seed := range o.seeds() {
+		w, err := o.loadWorkload(seed)
+		if err != nil {
+			return 0, err
+		}
+		c := cfg
+		c.Seed = seed
+		res, err := runStrategy(w, c, mkDeliveries(w), strategy)
+		if err != nil {
+			return 0, err
+		}
+		total += res.ResponseTime.Seconds()
+	}
+	return total / float64(len(o.seeds())), nil
+}

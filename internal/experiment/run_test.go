@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"testing"
+
+	"dqs/internal/exec"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	o := DefaultOptions()
+	if len(o.Seeds) != 3 {
+		t.Errorf("default seeds = %v, want 3 reps (paper methodology)", o.Seeds)
+	}
+	var empty Options
+	if got := empty.seeds(); len(got) != 1 {
+		t.Errorf("empty options seeds = %v", got)
+	}
+	if cfg := empty.ExecConfig(); cfg.BMT != 1 {
+		t.Errorf("default bmt = %v, want 1", cfg.BMT)
+	}
+	custom := exec.DefaultConfig()
+	custom.BMT = 7
+	o.Config = &custom
+	if got := o.ExecConfig().BMT; got != 7 {
+		t.Errorf("config override not honoured: bmt = %v", got)
+	}
+}
+
+func TestOptionsCardOf(t *testing.T) {
+	full := Options{}
+	if got := full.cardOf("A"); got != 150000 {
+		t.Errorf("cardOf(A) full = %d", got)
+	}
+	small := Options{Small: true}
+	if got := small.cardOf("F"); got != 1200 {
+		t.Errorf("cardOf(F) small = %d", got)
+	}
+	if got := full.cardOf("Z"); got != 0 {
+		t.Errorf("cardOf(Z) = %d, want 0", got)
+	}
+}
+
+func TestWorkloadCacheReturnsSameInstance(t *testing.T) {
+	o := Options{Small: true}
+	a, err := o.loadWorkload(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.loadWorkload(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cache miss for identical key")
+	}
+	full := Options{}
+	c, err := full.loadWorkload(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("scale not part of the cache key")
+	}
+}
+
+func TestRunStrategyUnknown(t *testing.T) {
+	o := Options{Small: true}
+	w, err := o.loadWorkload(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runStrategy(w, exec.DefaultConfig(), nil, "BOGUS"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestAblationsSmokeSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiments")
+	}
+	o := smallOptions()
+	cases := []struct {
+		name string
+		f    func(Options) (*Figure, error)
+		rows int
+	}{
+		{"bmt", AblationBMT, 8},
+		{"batch", AblationBatch, 6},
+		{"queue", AblationQueue, 6},
+		{"message", AblationMessage, 5},
+		{"skew", AblationSkew, 5},
+		{"memory", AblationMemory, 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fig, err := tc.f(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fig.X) != tc.rows {
+				t.Errorf("%d points, want %d", len(fig.X), tc.rows)
+			}
+		})
+	}
+}
+
+func TestAblationBMTControlsDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	fig, err := AblationBMT(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	degr := fig.Get("degradations")
+	if degr[0] == 0 {
+		t.Error("bmt=0 produced no degradations")
+	}
+	if last := degr[len(degr)-1]; last != 0 {
+		t.Errorf("bmt=inf produced %v degradations", last)
+	}
+}

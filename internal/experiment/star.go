@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/exec"
+	"dqs/internal/workload"
+)
+
+// StarSweep runs the star-schema scenario: a fast fact wrapper joined to
+// several slow, *independent* dimension wrappers. The dimension chains have
+// no blocking dependencies between them, so dynamic scheduling overlaps all
+// their retrievals — response approaches max(dim retrieval) + fact, while
+// the iterator model pays roughly the sum. This isolates the concurrency
+// half of DSE's advantage from the degradation half (the Figure-5 workload
+// mixes both).
+func StarSweep(o Options) (*Figure, error) {
+	cfg := o.config()
+	spec := workload.DefaultStarSpec()
+	if o.Small {
+		spec = workload.SmallStarSpec()
+	}
+	fig := NewFigure("Star", fmt.Sprintf("star schema: %d slow dimensions, fast fact", spec.Dimensions),
+		"dim-wait(us)", "response time (s)",
+		append(append([]string{}, strategies...), "LWB")...)
+	for _, us := range []float64{20, 50, 100, 200, 400, 800} {
+		wait := time.Duration(us * float64(time.Microsecond))
+		mkFor := func(w *workload.Workload) map[string]exec.Delivery {
+			d := uniformDeliveries(w, cfg.InitialWaitEstimate)
+			for i := 0; i < spec.Dimensions; i++ {
+				d[fmt.Sprintf("DIM%d", i)] = exec.Delivery{MeanWait: wait}
+			}
+			return d
+		}
+		values := make([]float64, 0, len(strategies)+1)
+		for _, s := range strategies {
+			var total float64
+			for _, seed := range o.seeds() {
+				w, err := workload.Star(seed, spec)
+				if err != nil {
+					return nil, err
+				}
+				c := cfg
+				c.Seed = seed
+				res, err := runStrategy(w, c, mkFor(w), s)
+				if err != nil {
+					return nil, fmt.Errorf("star %s at %vus: %w", s, us, err)
+				}
+				total += res.ResponseTime.Seconds()
+			}
+			values = append(values, total/float64(len(o.seeds())))
+		}
+		w, err := workload.Star(o.seeds()[0], spec)
+		if err != nil {
+			return nil, err
+		}
+		lwb, err := lowerBound(w, cfg, mkFor(w))
+		if err != nil {
+			return nil, err
+		}
+		values = append(values, lwb.Seconds())
+		fig.AddPoint(us, values...)
+	}
+	return fig, nil
+}

@@ -1,0 +1,258 @@
+package mem
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/relation"
+	"dqs/internal/sim"
+)
+
+// TempStore hands out temporary relations backed by the simulated local
+// disk. Materialization fragments write them; complement fragments read
+// them back with asynchronous, prefetching I/O (the paper's §4.4 cost
+// assumptions).
+type TempStore struct {
+	params  sim.Params
+	disk    *sim.Disk
+	clock   *sim.Clock
+	nextObj int
+}
+
+// NewTempStore binds a store to the mediator's disk and clock.
+func NewTempStore(params sim.Params, disk *sim.Disk, clock *sim.Clock) *TempStore {
+	return &TempStore{params: params, disk: disk, clock: clock, nextObj: 1}
+}
+
+// Create opens a new temporary relation with the given schema, written with
+// asynchronous I/O (the §4.4 cost assumption for materialization
+// fragments).
+func (s *TempStore) Create(name string, schema *relation.Schema) *Temp {
+	obj := s.nextObj
+	s.nextObj++
+	return &Temp{
+		store:  s,
+		name:   name,
+		object: obj,
+		schema: schema,
+	}
+}
+
+// CreateSync opens a temporary relation whose page writes hold the CPU
+// until the transfer completes — the behaviour of a strategy built on the
+// classic synchronous iterator engine, like materialize-all.
+func (s *TempStore) CreateSync(name string, schema *relation.Schema) *Temp {
+	t := s.Create(name, schema)
+	t.sync = true
+	return t
+}
+
+// Temp is one temporary relation: tuples plus the virtual times at which
+// each page became durable on disk.
+type Temp struct {
+	store  *TempStore
+	name   string
+	object int
+	schema *relation.Schema
+
+	sync      bool
+	rows      []relation.Tuple
+	pageDone  []time.Duration // write-completion time per full page
+	inPage    int             // tuples buffered in the current page
+	closed    bool
+	closedLen int
+}
+
+// Name returns the temp relation's name.
+func (t *Temp) Name() string { return t.name }
+
+// Schema returns the tuple layout.
+func (t *Temp) Schema() *relation.Schema { return t.schema }
+
+// Len returns the number of appended tuples.
+func (t *Temp) Len() int { return len(t.rows) }
+
+// Pages returns the number of pages written so far.
+func (t *Temp) Pages() int { return len(t.pageDone) }
+
+// Append adds one tuple. When a page fills up, its write is issued
+// asynchronously: the caller's CPU is charged the I/O-issue cost, the disk
+// timeline absorbs the transfer, and the completion time is recorded so
+// readers never see a page before it is durable.
+func (t *Temp) Append(tup relation.Tuple) {
+	if t.closed {
+		panic(fmt.Sprintf("mem: append to closed temp %q", t.name))
+	}
+	t.rows = append(t.rows, tup)
+	t.inPage++
+	if t.inPage == t.store.params.TuplesPerPage() {
+		t.flushPage()
+	}
+}
+
+func (t *Temp) flushPage() {
+	id := sim.PageID{Object: t.object, Page: len(t.pageDone)}
+	if t.sync {
+		t.store.disk.SyncWrite(id)
+		t.pageDone = append(t.pageDone, t.store.clock.Now())
+	} else {
+		t.pageDone = append(t.pageDone, t.store.disk.AsyncWrite(id))
+	}
+	t.inPage = 0
+}
+
+// Close flushes the final partial page. Further appends panic.
+func (t *Temp) Close() {
+	if t.closed {
+		return
+	}
+	if t.inPage > 0 {
+		t.flushPage()
+	}
+	t.closed = true
+	t.closedLen = len(t.rows)
+}
+
+// Closed reports whether the writer has finished.
+func (t *Temp) Closed() bool { return t.closed }
+
+// Drop releases the temp relation's disk bookkeeping.
+func (t *Temp) Drop() { t.store.disk.Forget(t.object) }
+
+// DurableAt returns the time the last written page completed, i.e. when
+// the whole temp relation is readable. Zero for an empty relation.
+func (t *Temp) DurableAt() time.Duration {
+	if len(t.pageDone) == 0 {
+		return 0
+	}
+	return t.pageDone[len(t.pageDone)-1]
+}
+
+// NewReader opens a sequential, prefetching reader over a closed temp
+// relation, using asynchronous reads: tuples "arrive" when their page's
+// read completes. prefetch is the number of pages kept in flight ahead of
+// consumption (minimum 1).
+func (t *Temp) NewReader(prefetch int) *Reader {
+	if !t.closed {
+		panic(fmt.Sprintf("mem: reader over unclosed temp %q", t.name))
+	}
+	if prefetch < 1 {
+		prefetch = 1
+	}
+	return &Reader{
+		temp:     t,
+		prefetch: prefetch,
+		readyAt:  make([]time.Duration, len(t.pageDone)),
+		issued:   0,
+	}
+}
+
+// NewSyncReader opens a reader whose page reads hold the CPU (classic
+// iterator-engine behaviour): every tuple is nominally always "available",
+// and the synchronous wait is paid when consumption crosses into an unread
+// page.
+func (t *Temp) NewSyncReader() *Reader {
+	r := t.NewReader(1)
+	r.sync = true
+	return r
+}
+
+// Reader streams a temp relation back with asynchronous reads, exposing the
+// same availability protocol as a wrapper queue: tuples "arrive" when their
+// page's read completes. This makes complement fragments schedulable by the
+// DQP exactly like pipeline chains.
+type Reader struct {
+	temp     *Temp
+	prefetch int
+	sync     bool
+	pos      int             // next tuple index
+	issued   int             // pages whose reads have been issued
+	readyAt  []time.Duration // read-completion time per issued page
+}
+
+func (r *Reader) tuplesPerPage() int { return r.temp.store.params.TuplesPerPage() }
+
+func (r *Reader) pageOf(i int) int { return i / r.tuplesPerPage() }
+
+// ensureIssued issues page reads up to the prefetch window beyond the
+// current position. Reads start no earlier than the page's write
+// completion. Issuing charges the per-I/O CPU cost now.
+func (r *Reader) ensureIssued() {
+	want := r.pageOf(r.pos) + r.prefetch
+	if want > len(r.temp.pageDone) {
+		want = len(r.temp.pageDone)
+	}
+	for r.issued < want {
+		k := r.issued
+		r.readyAt[k] = r.temp.store.disk.AsyncRead(
+			sim.PageID{Object: r.temp.object, Page: k}, r.temp.pageDone[k])
+		r.issued++
+	}
+}
+
+// Available returns how many unread tuples are in memory at time now. In
+// synchronous mode every remaining tuple counts as available: the wait is
+// paid on Pop.
+func (r *Reader) Available(now time.Duration) int {
+	if r.sync {
+		return len(r.temp.rows) - r.pos
+	}
+	r.ensureIssued()
+	n := 0
+	for i := r.pos; i < len(r.temp.rows); i++ {
+		k := r.pageOf(i)
+		if k >= r.issued || r.readyAt[k] > now {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// NextArrival returns the time the next unread tuple is in memory, or false
+// if the relation is fully consumed.
+func (r *Reader) NextArrival() (time.Duration, bool) {
+	if r.pos >= len(r.temp.rows) {
+		return 0, false
+	}
+	if r.sync {
+		return r.temp.store.clock.Now(), true
+	}
+	r.ensureIssued()
+	k := r.pageOf(r.pos)
+	if k >= r.issued {
+		// Should not happen: ensureIssued always covers the current page.
+		panic(fmt.Sprintf("mem: reader of %q has unissued current page", r.temp.name))
+	}
+	return r.readyAt[k], true
+}
+
+// Pop consumes the next tuple; it panics if the tuple is not in memory yet
+// (asynchronous mode) or pays the page read while holding the CPU
+// (synchronous mode).
+func (r *Reader) Pop(now time.Duration) relation.Tuple {
+	if r.pos >= len(r.temp.rows) {
+		panic(fmt.Sprintf("mem: pop past end of temp %q", r.temp.name))
+	}
+	k := r.pageOf(r.pos)
+	if r.sync {
+		if r.issued <= k {
+			r.temp.store.disk.SyncRead(sim.PageID{Object: r.temp.object, Page: k})
+			r.issued = k + 1
+		}
+	} else {
+		r.ensureIssued()
+		if r.readyAt[k] > now {
+			panic(fmt.Sprintf("mem: pop of future tuple from temp %q (%v > %v)", r.temp.name, r.readyAt[k], now))
+		}
+	}
+	tup := r.temp.rows[r.pos]
+	r.pos++
+	return tup
+}
+
+// Exhausted reports whether every tuple has been consumed.
+func (r *Reader) Exhausted() bool { return r.pos >= len(r.temp.rows) }
+
+// Remaining returns the number of unconsumed tuples.
+func (r *Reader) Remaining() int { return len(r.temp.rows) - r.pos }

@@ -1,0 +1,74 @@
+// Package operator provides the physical operator kernels shared by every
+// execution strategy: the hash table of the asymmetric hash join, predicate
+// evaluation, and per-tuple cost charging. Because SEQ, MA and DSE all run
+// on these same kernels, performance differences between strategies can only
+// come from scheduling — the paper's §5.1.2 methodological requirement.
+package operator
+
+import (
+	"fmt"
+
+	"dqs/internal/relation"
+	"dqs/internal/sim"
+)
+
+// HashTable is the in-memory build side of a hash join.
+type HashTable struct {
+	keyIdx  int
+	buckets map[int64][]relation.Tuple
+	rows    int64
+}
+
+// NewHashTable creates a table keyed on the given column index of inserted
+// tuples.
+func NewHashTable(keyIdx int) *HashTable {
+	if keyIdx < 0 {
+		panic(fmt.Sprintf("operator: negative hash key index %d", keyIdx))
+	}
+	return &HashTable{keyIdx: keyIdx, buckets: make(map[int64][]relation.Tuple)}
+}
+
+// Insert adds one build tuple.
+func (h *HashTable) Insert(t relation.Tuple) {
+	k := t[h.keyIdx]
+	h.buckets[k] = append(h.buckets[k], t)
+	h.rows++
+}
+
+// Probe returns the build tuples matching key. The returned slice is shared;
+// callers must not mutate it.
+func (h *HashTable) Probe(key int64) []relation.Tuple {
+	return h.buckets[key]
+}
+
+// Rows returns the number of inserted tuples.
+func (h *HashTable) Rows() int64 { return h.rows }
+
+// MemBytes returns the accounting size of the table: rows times the
+// accounting tuple size.
+func (h *HashTable) MemBytes(tupleBytes int) int64 { return h.rows * int64(tupleBytes) }
+
+// EvalPred reports whether tuple t satisfies the pushed-down scan predicate
+// (nil predicates always pass). colIdx is the resolved predicate column.
+func EvalPred(t relation.Tuple, colIdx int, less int64) bool {
+	return t[colIdx] < less
+}
+
+// Costs bundles the per-tuple instruction charges of Table 1 so operator
+// call sites read like the paper's cost model.
+type Costs struct {
+	CPU sim.CPU
+}
+
+// ChargeMove bills moving one tuple (scan/materialize/build insert).
+func (c Costs) ChargeMove() { c.CPU.Charge(c.CPU.Params.MoveTupleInstr) }
+
+// ChargeProbe bills one hash-table search.
+func (c Costs) ChargeProbe() { c.CPU.Charge(c.CPU.Params.HashSearchInstr) }
+
+// ChargeResult bills producing one result tuple.
+func (c Costs) ChargeResult() { c.CPU.Charge(c.CPU.Params.ProduceResultInstr) }
+
+// ChargeReceive bills the amortized message-receive cost of taking one
+// tuple off a wrapper queue.
+func (c Costs) ChargeReceive() { c.CPU.Charge(c.CPU.Params.ReceiveTupleInstr()) }

@@ -1,0 +1,97 @@
+package operator
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dqs/internal/relation"
+	"dqs/internal/sim"
+)
+
+func TestHashTableInsertProbe(t *testing.T) {
+	h := NewHashTable(1)
+	h.Insert(relation.Tuple{10, 5})
+	h.Insert(relation.Tuple{11, 5})
+	h.Insert(relation.Tuple{12, 7})
+	if h.Rows() != 3 {
+		t.Fatalf("Rows = %d", h.Rows())
+	}
+	if got := len(h.Probe(5)); got != 2 {
+		t.Errorf("Probe(5) returned %d matches", got)
+	}
+	if got := len(h.Probe(7)); got != 1 {
+		t.Errorf("Probe(7) returned %d matches", got)
+	}
+	if got := len(h.Probe(99)); got != 0 {
+		t.Errorf("Probe(99) returned %d matches", got)
+	}
+	if got := h.MemBytes(40); got != 120 {
+		t.Errorf("MemBytes = %d", got)
+	}
+}
+
+func TestHashTableNegativeKeyIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative key index accepted")
+		}
+	}()
+	NewHashTable(-1)
+}
+
+func TestHashTableMatchesBruteForce(t *testing.T) {
+	rng := sim.NewRNG(11)
+	f := func(keysRaw []uint8, probe uint8) bool {
+		h := NewHashTable(0)
+		count := 0
+		k := int64(probe % 16)
+		for i, raw := range keysRaw {
+			key := int64(raw % 16)
+			h.Insert(relation.Tuple{key, int64(i)})
+			if key == k {
+				count++
+			}
+		}
+		return len(h.Probe(k)) == count
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: nil}
+	_ = rng
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalPred(t *testing.T) {
+	tup := relation.Tuple{3, 10}
+	if !EvalPred(tup, 0, 5) {
+		t.Error("3 < 5 rejected")
+	}
+	if EvalPred(tup, 1, 5) {
+		t.Error("10 < 5 accepted")
+	}
+	if EvalPred(tup, 1, 10) {
+		t.Error("boundary 10 < 10 accepted")
+	}
+}
+
+func TestCostsChargeTable1Times(t *testing.T) {
+	clock := sim.NewClock()
+	p := sim.DefaultParams()
+	c := Costs{CPU: sim.CPU{Clock: clock, Params: p}}
+	c.ChargeMove() // 100 instr = 1µs
+	if clock.Now() != time.Microsecond {
+		t.Errorf("move charged %v", clock.Now())
+	}
+	c.ChargeProbe()  // +1µs
+	c.ChargeResult() // +0.5µs
+	want := 2*time.Microsecond + 500*time.Nanosecond
+	if clock.Now() != want {
+		t.Errorf("clock = %v, want %v", clock.Now(), want)
+	}
+	before := clock.Now()
+	c.ChargeReceive()
+	if got := clock.Now() - before; got != p.InstrTime(p.ReceiveTupleInstr()) {
+		t.Errorf("receive charged %v", got)
+	}
+}

@@ -1,0 +1,214 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"dqs/internal/plan"
+	"dqs/internal/relation"
+)
+
+// maxDPRelations bounds the bitmask-based enumeration.
+const maxDPRelations = 20
+
+// entry is the best plan found for one relation subset.
+type entry struct {
+	rows  float64 // estimated cardinality of the subset's join
+	cost  float64 // accumulated C_out cost
+	left  uint32  // build-side subset (0 for base relations)
+	right uint32  // probe-side subset
+	pred  int     // index of the crossing predicate
+}
+
+// Optimize enumerates bushy join trees with dynamic programming over
+// connected subsets, minimizing the classical C_out cost (the sum of
+// intermediate-result cardinalities), and returns a validated, annotated
+// physical plan. The smaller input of each join becomes the blocking build
+// side.
+func Optimize(cat *relation.Catalog, q *Query, stats *plan.Stats) (*plan.Node, error) {
+	if err := q.Validate(cat); err != nil {
+		return nil, err
+	}
+	n := len(q.Relations)
+	if n > maxDPRelations {
+		return nil, fmt.Errorf("optimizer: %d relations exceed the DP limit of %d", n, maxDPRelations)
+	}
+	idx := make(map[string]int, n)
+	rels := make([]*relation.Relation, n)
+	for i, name := range q.Relations {
+		r, _ := cat.Lookup(name)
+		rels[i] = r
+		idx[name] = i
+	}
+	// Per-predicate selectivity denominators (max of both key domains).
+	predDomain := make([]float64, len(q.Predicates))
+	for i, p := range q.Predicates {
+		dl := statDomain(stats, p.Left, rels[idx[p.Left.Rel]].Cardinality)
+		dr := statDomain(stats, p.Right, rels[idx[p.Right.Rel]].Cardinality)
+		predDomain[i] = math.Max(dl, dr)
+	}
+
+	best := make(map[uint32]*entry)
+	// Base cases.
+	for i, r := range rels {
+		rows := float64(r.Cardinality)
+		if f, ok := q.Filters[r.Name]; ok {
+			d := statDomain(stats, f.Col, r.Cardinality)
+			sel := float64(f.Less) / d
+			if sel > 1 {
+				sel = 1
+			}
+			if sel < 0 {
+				sel = 0
+			}
+			rows *= sel
+		}
+		best[uint32(1)<<i] = &entry{rows: rows, cost: 0}
+	}
+	// Subset enumeration in increasing popcount order. For each connected
+	// subset S, try every predicate whose endpoints land in different,
+	// already-solved connected halves of S.
+	full := uint32(1)<<n - 1
+	for s := uint32(1); s <= full; s++ {
+		if popcount(s) < 2 {
+			continue
+		}
+		for pi, p := range q.Predicates {
+			li, ri := idx[p.Left.Rel], idx[p.Right.Rel]
+			if s&(1<<li) == 0 || s&(1<<ri) == 0 {
+				continue
+			}
+			// The join graph restricted to S minus this edge splits S into
+			// the component containing li and the rest; both must be fully
+			// inside S and solved.
+			a := component(q, idx, s, li, pi)
+			b := s &^ a
+			if b == 0 || b&(1<<ri) == 0 {
+				continue
+			}
+			ea, eb := best[a], best[b]
+			if ea == nil || eb == nil {
+				continue
+			}
+			rows := ea.rows * eb.rows / predDomain[pi]
+			cost := ea.cost + eb.cost + rows
+			cur := best[s]
+			if cur == nil || cost < cur.cost {
+				best[s] = &entry{rows: rows, cost: cost, left: a, right: b, pred: pi}
+			}
+		}
+	}
+	if best[full] == nil {
+		return nil, fmt.Errorf("optimizer: no plan found (disconnected join graph?)")
+	}
+	b := plan.NewBuilder()
+	root, err := buildNode(b, q, rels, idx, best, full)
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.Output(root)
+	if err != nil {
+		return nil, err
+	}
+	if err := stats.Annotate(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// buildNode materializes the DP solution of subset s into plan nodes.
+func buildNode(b *plan.Builder, q *Query, rels []*relation.Relation, idx map[string]int, best map[uint32]*entry, s uint32) (*plan.Node, error) {
+	e := best[s]
+	if e.left == 0 { // base relation
+		i := trailingBit(s)
+		var pred *plan.Pred
+		if f, ok := q.Filters[rels[i].Name]; ok {
+			p := f
+			pred = &p
+		}
+		return b.Scan(rels[i], pred)
+	}
+	l, err := buildNode(b, q, rels, idx, best, e.left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := buildNode(b, q, rels, idx, best, e.right)
+	if err != nil {
+		return nil, err
+	}
+	p := q.Predicates[e.pred]
+	lKey, rKey := p.Left, p.Right
+	// Orient keys to the sides that actually contain them.
+	if l.Schema.IndexOf(lKey) < 0 {
+		lKey, rKey = rKey, lKey
+	}
+	// The smaller side builds the hash table.
+	if best[e.left].rows <= best[e.right].rows {
+		return b.HashJoin(l, r, lKey, rKey)
+	}
+	return b.HashJoin(r, l, rKey, lKey)
+}
+
+// component returns the members of subset s reachable from relation start
+// in the query's join graph, with predicate skip removed.
+func component(q *Query, idx map[string]int, s uint32, start, skip int) uint32 {
+	seen := uint32(1) << start
+	queue := []int{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for pi, p := range q.Predicates {
+			if pi == skip {
+				continue
+			}
+			li, ri := idx[p.Left.Rel], idx[p.Right.Rel]
+			var next int
+			switch cur {
+			case li:
+				next = ri
+			case ri:
+				next = li
+			default:
+				continue
+			}
+			bit := uint32(1) << next
+			if s&bit == 0 || seen&bit != 0 {
+				continue
+			}
+			seen |= bit
+			queue = append(queue, next)
+		}
+	}
+	return seen
+}
+
+// statDomain looks up a column's domain, defaulting to the relation's
+// cardinality.
+func statDomain(stats *plan.Stats, ref relation.ColRef, card int) float64 {
+	if stats != nil {
+		if d, ok := stats.Domains[ref]; ok && d > 0 {
+			return float64(d)
+		}
+	}
+	if card < 1 {
+		card = 1
+	}
+	return float64(card)
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func trailingBit(x uint32) int {
+	for i := 0; i < 32; i++ {
+		if x&(1<<i) != 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,97 @@
+// Package optimizer provides the mediator's static query optimizer: a
+// classical dynamic-programming join enumerator over bushy trees (the
+// paper's §2.2 setting — the experiment QEP was "optimized in a classical
+// dynamic programming query optimizer"), plus a random acyclic-query
+// generator in the style of reference [14] for tests and extra workloads.
+package optimizer
+
+import (
+	"fmt"
+
+	"dqs/internal/plan"
+	"dqs/internal/relation"
+)
+
+// JoinPred is one equi-join predicate of a query: Left.col = Right.col.
+type JoinPred struct {
+	Left  relation.ColRef
+	Right relation.ColRef
+}
+
+// Query is a conjunctive select-project-join query over catalog relations.
+// The join graph must be connected and acyclic (a join tree): the physical
+// hash joins evaluate exactly one equi-predicate each, and for acyclic
+// graphs every connected cut crosses exactly one predicate.
+type Query struct {
+	Relations  []string
+	Predicates []JoinPred
+	// Filters optionally gives a pushed-down scan predicate per relation.
+	Filters map[string]plan.Pred
+}
+
+// Validate checks the query against the catalog: known relations and
+// columns, connected acyclic join graph.
+func (q *Query) Validate(cat *relation.Catalog) error {
+	if len(q.Relations) == 0 {
+		return fmt.Errorf("optimizer: query has no relations")
+	}
+	idx := make(map[string]int, len(q.Relations))
+	for i, name := range q.Relations {
+		if _, dup := idx[name]; dup {
+			return fmt.Errorf("optimizer: relation %q listed twice", name)
+		}
+		r, ok := cat.Lookup(name)
+		if !ok {
+			return fmt.Errorf("optimizer: unknown relation %q", name)
+		}
+		if f, has := q.Filters[name]; has && r.Schema.IndexOf(f.Col) < 0 {
+			return fmt.Errorf("optimizer: filter column %s not in %q", f.Col, name)
+		}
+		idx[name] = i
+	}
+	if len(q.Predicates) != len(q.Relations)-1 {
+		return fmt.Errorf("optimizer: acyclic connected join graph needs exactly %d predicates, got %d",
+			len(q.Relations)-1, len(q.Predicates))
+	}
+	// Union-find over relations to verify the predicates form a tree.
+	parent := make([]int, len(q.Relations))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, p := range q.Predicates {
+		li, ok := idx[p.Left.Rel]
+		if !ok {
+			return fmt.Errorf("optimizer: predicate references relation %q outside the query", p.Left.Rel)
+		}
+		ri, ok := idx[p.Right.Rel]
+		if !ok {
+			return fmt.Errorf("optimizer: predicate references relation %q outside the query", p.Right.Rel)
+		}
+		for _, ref := range []relation.ColRef{p.Left, p.Right} {
+			r, _ := cat.Lookup(ref.Rel)
+			if r.Schema.IndexOf(ref) < 0 {
+				return fmt.Errorf("optimizer: unknown predicate column %s", ref)
+			}
+		}
+		lr, rr := find(li), find(ri)
+		if lr == rr {
+			return fmt.Errorf("optimizer: join graph has a cycle through %s = %s", p.Left, p.Right)
+		}
+		parent[lr] = rr
+	}
+	root := find(0)
+	for i := range q.Relations {
+		if find(i) != root {
+			return fmt.Errorf("optimizer: join graph is disconnected")
+		}
+	}
+	return nil
+}

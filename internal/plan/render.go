@@ -1,0 +1,33 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render returns an ASCII rendering of the plan tree, one operator per
+// line, with blocking edges marked "=b=" and pipelinable edges "-p-".
+func Render(root *Node) string {
+	var b strings.Builder
+	var rec func(n *Node, prefix string, edge string)
+	rec = func(n *Node, prefix, edge string) {
+		switch n.Kind {
+		case KindOutput:
+			fmt.Fprintf(&b, "%s%soutput  est=%.0f\n", prefix, edge, n.EstRows)
+			rec(n.Child, prefix+"  ", "-p- ")
+		case KindHashJoin:
+			fmt.Fprintf(&b, "%s%sJ%d hash-join (%s = %s)  est=%.0f\n",
+				prefix, edge, n.ID, n.ProbeKey, n.BuildKey, n.EstRows)
+			rec(n.Probe, prefix+"  ", "-p- ")
+			rec(n.Build, prefix+"  ", "=b= ")
+		case KindScan:
+			pred := ""
+			if n.Pred != nil {
+				pred = fmt.Sprintf(" where %s < %d", n.Pred.Col, n.Pred.Less)
+			}
+			fmt.Fprintf(&b, "%s%sscan(%s)%s  est=%.0f\n", prefix, edge, n.Rel.Name, pred, n.EstRows)
+		}
+	}
+	rec(root, "", "")
+	return b.String()
+}

@@ -1,0 +1,55 @@
+// Package reftest provides an independent reference evaluator of physical
+// plans, used by tests across packages to cross-check engine results: plain
+// recursive hash joins with no scheduling, no queues and no cost model. It
+// is deliberately written against the plan package only, sharing no code
+// with the execution engine.
+package reftest
+
+import (
+	"dqs/internal/plan"
+	"dqs/internal/relation"
+)
+
+// Eval returns the full result of the plan over the dataset.
+func Eval(n *plan.Node, ds relation.Dataset) []relation.Tuple {
+	switch n.Kind {
+	case plan.KindScan:
+		rows := ds[n.Rel.Name].Rows
+		if n.Pred == nil {
+			return rows
+		}
+		idx := n.Schema.MustIndexOf(n.Pred.Col)
+		var out []relation.Tuple
+		for _, r := range rows {
+			if r[idx] < n.Pred.Less {
+				out = append(out, r)
+			}
+		}
+		return out
+	case plan.KindHashJoin:
+		build := Eval(n.Build, ds)
+		probe := Eval(n.Probe, ds)
+		bIdx := n.Build.Schema.MustIndexOf(n.BuildKey)
+		pIdx := n.Probe.Schema.MustIndexOf(n.ProbeKey)
+		ht := make(map[int64][]relation.Tuple)
+		for _, b := range build {
+			ht[b[bIdx]] = append(ht[b[bIdx]], b)
+		}
+		var out []relation.Tuple
+		for _, p := range probe {
+			for _, b := range ht[p[pIdx]] {
+				out = append(out, relation.Concat(p, b))
+			}
+		}
+		return out
+	case plan.KindOutput:
+		return Eval(n.Child, ds)
+	default:
+		panic("reftest: unknown node kind")
+	}
+}
+
+// Count returns the reference result cardinality of a plan.
+func Count(root *plan.Node, ds relation.Dataset) int64 {
+	return int64(len(Eval(root, ds)))
+}

@@ -1,0 +1,84 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is the catalog entry of one base relation exported by a wrapper.
+type Relation struct {
+	Name        string
+	Cardinality int
+	Schema      *Schema
+}
+
+// Catalog is the mediator's view of the integrated schema: the set of base
+// relations reachable through wrappers.
+type Catalog struct {
+	rels map[string]*Relation
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{rels: make(map[string]*Relation)}
+}
+
+// Add registers a relation with the given columns. It returns an error if
+// the name is already taken, the cardinality is not positive, or no columns
+// are given.
+func (c *Catalog) Add(name string, cardinality int, cols ...string) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relation: empty relation name")
+	}
+	if _, dup := c.rels[name]; dup {
+		return nil, fmt.Errorf("relation: duplicate relation %q", name)
+	}
+	if cardinality <= 0 {
+		return nil, fmt.Errorf("relation: %q: cardinality must be positive, got %d", name, cardinality)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relation: %q: at least one column required", name)
+	}
+	seen := make(map[string]bool, len(cols))
+	for _, col := range cols {
+		if col == "" {
+			return nil, fmt.Errorf("relation: %q: empty column name", name)
+		}
+		if seen[col] {
+			return nil, fmt.Errorf("relation: %q: duplicate column %q", name, col)
+		}
+		seen[col] = true
+	}
+	r := &Relation{Name: name, Cardinality: cardinality, Schema: NewSchema(name, cols...)}
+	c.rels[name] = r
+	return r, nil
+}
+
+// MustAdd is Add but panics on error; convenient for fixed experiment
+// catalogs whose validity is static.
+func (c *Catalog) MustAdd(name string, cardinality int, cols ...string) *Relation {
+	r, err := c.Add(name, cardinality, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Lookup returns the relation with the given name.
+func (c *Catalog) Lookup(name string) (*Relation, bool) {
+	r, ok := c.rels[name]
+	return r, ok
+}
+
+// Names returns the relation names in sorted order.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of relations.
+func (c *Catalog) Len() int { return len(c.rels) }

@@ -1,0 +1,99 @@
+// Package relation models base relations, schemas and tuples for the
+// mediator. The paper's prototype simulated operators without real data;
+// we keep the paper's cost accounting (every tuple is charged as a 40-byte
+// unit, Table 1) but additionally flow real integer tuples through the
+// operators so join correctness is testable end to end.
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is one row: a flat vector of int64 attribute values. Intermediate
+// results concatenate the tuples of their inputs, so a composite tuple's
+// columns are addressed through its Schema.
+type Tuple []int64
+
+// Concat returns a new tuple holding left's values followed by right's.
+func Concat(left, right Tuple) Tuple {
+	out := make(Tuple, 0, len(left)+len(right))
+	out = append(out, left...)
+	return append(out, right...)
+}
+
+// ColRef names one column of one base relation. Composite schemas keep the
+// originating relation so join predicates can be resolved at any depth of
+// the plan.
+type ColRef struct {
+	Rel string
+	Col string
+}
+
+// String returns "rel.col".
+func (c ColRef) String() string { return c.Rel + "." + c.Col }
+
+// Schema describes the column layout of a (possibly composite) tuple stream.
+type Schema struct {
+	Cols []ColRef
+}
+
+// NewSchema builds the schema of a base relation: every column qualified by
+// the relation name.
+func NewSchema(rel string, cols ...string) *Schema {
+	s := &Schema{Cols: make([]ColRef, len(cols))}
+	for i, c := range cols {
+		s.Cols[i] = ColRef{Rel: rel, Col: c}
+	}
+	return s
+}
+
+// Join returns the schema of the concatenation of s and other.
+func (s *Schema) Join(other *Schema) *Schema {
+	out := &Schema{Cols: make([]ColRef, 0, len(s.Cols)+len(other.Cols))}
+	out.Cols = append(out.Cols, s.Cols...)
+	out.Cols = append(out.Cols, other.Cols...)
+	return out
+}
+
+// IndexOf returns the position of the given column, or -1 if absent.
+func (s *Schema) IndexOf(ref ColRef) int {
+	for i, c := range s.Cols {
+		if c == ref {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustIndexOf is IndexOf but panics on a missing column; used where the
+// planner has already validated the reference.
+func (s *Schema) MustIndexOf(ref ColRef) int {
+	i := s.IndexOf(ref)
+	if i < 0 {
+		panic(fmt.Sprintf("relation: column %s not in schema %s", ref, s))
+	}
+	return i
+}
+
+// HasRel reports whether any column of s originates from rel.
+func (s *Schema) HasRel(rel string) bool {
+	for _, c := range s.Cols {
+		if c.Rel == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// Width returns the number of columns.
+func (s *Schema) Width() int { return len(s.Cols) }
+
+// String renders the schema as "(a.id, a.k1, b.id)".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

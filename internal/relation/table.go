@@ -1,0 +1,25 @@
+package relation
+
+// Table is a fully generated instance of a relation: the rows a wrapper will
+// deliver to the mediator. Tables are immutable once generated and shared
+// across the strategies of one experiment run, so every strategy sees
+// exactly the same data and arrival randomness is the only varying input.
+type Table struct {
+	Rel  *Relation
+	Rows []Tuple
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Dataset maps relation names to their generated tables.
+type Dataset map[string]*Table
+
+// TotalRows returns the total number of base tuples in the dataset.
+func (d Dataset) TotalRows() int {
+	n := 0
+	for _, t := range d {
+		n += len(t.Rows)
+	}
+	return n
+}

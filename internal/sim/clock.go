@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is the mediator's virtual clock. The mediator is a mono-processor
+// (paper §2.1): every CPU instruction and every synchronous I/O advances this
+// single clock. The clock also keeps busy/idle accounting so experiments can
+// report how long the query engine was stalled waiting for remote data.
+type Clock struct {
+	now  time.Duration
+	busy time.Duration // time spent computing or in synchronous I/O
+	idle time.Duration // time spent stalled waiting for data
+}
+
+// NewClock returns a clock at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Busy returns the accumulated busy (working) time.
+func (c *Clock) Busy() time.Duration { return c.busy }
+
+// Idle returns the accumulated idle (stalled) time.
+func (c *Clock) Idle() time.Duration { return c.idle }
+
+// Work advances the clock by d and accounts it as busy time. It panics if d
+// is negative: a negative cost is always a bug in a cost formula.
+func (c *Clock) Work(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative work duration %v", d))
+	}
+	c.now += d
+	c.busy += d
+}
+
+// Stall advances the clock to t (a future instant, typically the next data
+// arrival) and accounts the gap as idle time. Stalling to the past or
+// present is a no-op.
+func (c *Clock) Stall(t time.Duration) {
+	if t <= c.now {
+		return
+	}
+	c.idle += t - c.now
+	c.now = t
+}
+
+// WaitUntil advances the clock to t and accounts the gap as busy time. It is
+// used for synchronous disk waits, which hold the processor in the iterator
+// model. Waiting for the past or present is a no-op.
+func (c *Clock) WaitUntil(t time.Duration) {
+	if t <= c.now {
+		return
+	}
+	c.busy += t - c.now
+	c.now = t
+}
+
+// Reset returns the clock to time zero and clears the accounting.
+func (c *Clock) Reset() { *c = Clock{} }

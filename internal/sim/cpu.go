@@ -1,0 +1,17 @@
+package sim
+
+// CPU couples the clock with the parameter table so engine code can charge
+// instruction costs in one call.
+type CPU struct {
+	Clock  *Clock
+	Params Params
+}
+
+// Charge advances the clock by the time needed to execute instr
+// instructions.
+func (c CPU) Charge(instr int64) {
+	if instr == 0 {
+		return
+	}
+	c.Clock.Work(c.Params.InstrTime(instr))
+}

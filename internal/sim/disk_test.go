@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestDisk() (*Disk, *Clock, Params) {
+	p := DefaultParams()
+	c := NewClock()
+	return NewDisk(p, c), c, p
+}
+
+func TestDiskSequentialWritesPayPositioningOnce(t *testing.T) {
+	d, _, p := newTestDisk()
+	first := d.AsyncWrite(PageID{Object: 1, Page: 0})
+	second := d.AsyncWrite(PageID{Object: 1, Page: 1})
+	// Issuing charges the per-I/O CPU cost first, so the transfer starts at
+	// clock.Now() after that charge.
+	wantFirst := p.InstrTime(p.IOInstr) + p.DiskAccessTime() + p.PageTransferTime()
+	if first != wantFirst {
+		t.Errorf("first write completes at %v, want %v", first, wantFirst)
+	}
+	if got := second - first; got != p.PageTransferTime() {
+		t.Errorf("sequential follow-up cost %v, want transfer-only %v", got, p.PageTransferTime())
+	}
+}
+
+func TestDiskRandomAccessPaysPositioning(t *testing.T) {
+	d, _, p := newTestDisk()
+	d.AsyncWrite(PageID{Object: 1, Page: 0})
+	before := d.FreeAt()
+	after := d.AsyncWrite(PageID{Object: 1, Page: 7}) // skip ahead: random
+	if got := after - before; got != p.DiskAccessTime()+p.PageTransferTime() {
+		t.Errorf("random access cost %v, want %v", got, p.DiskAccessTime()+p.PageTransferTime())
+	}
+}
+
+func TestDiskPerObjectSequentialityTracksIndependently(t *testing.T) {
+	d, _, p := newTestDisk()
+	d.AsyncWrite(PageID{Object: 1, Page: 0})
+	d.AsyncWrite(PageID{Object: 2, Page: 0})
+	before := d.FreeAt()
+	// Object 1 continues sequentially even though object 2 interleaved.
+	after := d.AsyncWrite(PageID{Object: 1, Page: 1})
+	if got := after - before; got != p.PageTransferTime() {
+		t.Errorf("interleaved sequential stream paid %v, want transfer-only %v", got, p.PageTransferTime())
+	}
+}
+
+func TestDiskSyncReadHoldsCPU(t *testing.T) {
+	d, clock, p := newTestDisk()
+	d.SyncRead(PageID{Object: 3, Page: 0})
+	want := p.InstrTime(p.IOInstr) + p.DiskAccessTime() + p.PageTransferTime()
+	if clock.Now() != want {
+		t.Errorf("sync read advanced clock to %v, want %v", clock.Now(), want)
+	}
+	if clock.Idle() != 0 {
+		t.Errorf("sync read accounted idle time %v", clock.Idle())
+	}
+}
+
+func TestDiskCacheHitsAreFree(t *testing.T) {
+	d, clock, p := newTestDisk()
+	id := PageID{Object: 1, Page: 0}
+	d.SyncRead(id)
+	before := clock.Now()
+	d.SyncRead(id) // cached
+	if got := clock.Now() - before; got != p.InstrTime(p.IOInstr) {
+		t.Errorf("cached read cost %v, want CPU-only %v", got, p.InstrTime(p.IOInstr))
+	}
+	if d.Stats().CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", d.Stats().CacheHits)
+	}
+	if d.Stats().Reads != 1 {
+		t.Errorf("physical reads = %d, want 1", d.Stats().Reads)
+	}
+}
+
+func TestDiskCacheEvictsLRU(t *testing.T) {
+	d, _, p := newTestDisk()
+	// Fill the cache beyond capacity (8 pages) with distinct pages.
+	for i := 0; i < p.IOCachePages+1; i++ {
+		d.SyncRead(PageID{Object: 1, Page: i})
+	}
+	reads := d.Stats().Reads
+	// Page 0 was evicted: rereading it is a physical read.
+	d.SyncRead(PageID{Object: 1, Page: 0})
+	if d.Stats().Reads != reads+1 {
+		t.Errorf("evicted page served from cache")
+	}
+	// The most recent page is still cached.
+	hits := d.Stats().CacheHits
+	d.SyncRead(PageID{Object: 1, Page: p.IOCachePages})
+	if d.Stats().CacheHits != hits+1 {
+		t.Errorf("recent page not cached")
+	}
+}
+
+func TestDiskAsyncReadHonorsEarliest(t *testing.T) {
+	d, _, p := newTestDisk()
+	earliest := 500 * time.Millisecond
+	done := d.AsyncRead(PageID{Object: 9, Page: 0}, earliest)
+	if done < earliest+p.PageTransferTime() {
+		t.Errorf("read completed at %v, before earliest %v + transfer", done, earliest)
+	}
+}
+
+func TestDiskRequestsSerializeOnTimeline(t *testing.T) {
+	d, _, _ := newTestDisk()
+	a := d.AsyncWrite(PageID{Object: 1, Page: 0})
+	b := d.AsyncWrite(PageID{Object: 2, Page: 0})
+	if b <= a {
+		t.Errorf("second request (%v) did not queue after first (%v)", b, a)
+	}
+}
+
+func TestDiskForgetDropsCacheAndSequence(t *testing.T) {
+	d, _, _ := newTestDisk()
+	d.SyncRead(PageID{Object: 1, Page: 0})
+	d.Forget(1)
+	reads := d.Stats().Reads
+	d.SyncRead(PageID{Object: 1, Page: 0})
+	if d.Stats().Reads != reads+1 {
+		t.Errorf("forgotten page still cached")
+	}
+}
+
+func TestDiskZeroCacheCapacity(t *testing.T) {
+	p := DefaultParams()
+	p.IOCachePages = 0
+	c := NewClock()
+	d := NewDisk(p, c)
+	d.SyncRead(PageID{Object: 1, Page: 0})
+	d.SyncRead(PageID{Object: 1, Page: 0})
+	if d.Stats().CacheHits != 0 {
+		t.Errorf("zero-capacity cache produced hits")
+	}
+	if d.Stats().Reads != 2 {
+		t.Errorf("reads = %d, want 2", d.Stats().Reads)
+	}
+}
+
+func TestDiskBusyTimeAccumulates(t *testing.T) {
+	d, _, p := newTestDisk()
+	d.AsyncWrite(PageID{Object: 1, Page: 0})
+	d.AsyncWrite(PageID{Object: 1, Page: 1})
+	want := p.DiskAccessTime() + 2*p.PageTransferTime()
+	if d.Stats().BusyTime != want {
+		t.Errorf("busy time = %v, want %v", d.Stats().BusyTime, want)
+	}
+}

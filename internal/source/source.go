@@ -1,0 +1,201 @@
+// Package source simulates wrappers: autonomous data sources that produce
+// tuples with unpredictable delays and ship them to the mediator through the
+// window-protocol queues of package comm.
+//
+// Following the paper's methodology (§5.1.3), the production of each tuple
+// is delayed by a random time drawn uniformly from [0, 2w], giving a mean
+// waiting time of w. A source may change its mean waiting time at given row
+// boundaries (slow delivery, bursty arrival) and may impose an initial delay
+// before its first tuple, covering all three delay classes of §1.2.
+//
+// Production is simulated lazily but eagerly up to the window limit: a
+// source always fills its queue until the window protocol suspends it or it
+// runs out of rows. Because the source is the queue's only producer and the
+// engine's pops are the only events that free window slots, this pump-style
+// simulation is exact: arrival timestamps never depend on information that
+// is not yet known.
+package source
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/comm"
+	"dqs/internal/relation"
+	"dqs/internal/sim"
+)
+
+// Phase is one segment of a source's delivery-rate schedule: from row
+// FromRow (inclusive) onward, the mean waiting time is W.
+type Phase struct {
+	FromRow int
+	W       time.Duration
+}
+
+// Source simulates one wrapper executing its sub-query and streaming the
+// result to the mediator.
+type Source struct {
+	name    string
+	rows    []relation.Tuple
+	q       *comm.Queue
+	rng     *sim.RNG
+	netTime time.Duration
+
+	phases       []Phase
+	initialDelay time.Duration
+
+	next      int           // next row to produce
+	producing bool          // a tuple is produced (or in production) but not yet sent
+	readyAt   time.Duration // completion time of the in-flight production
+	startAt   time.Duration // production start time of the next tuple
+	blocked   bool          // suspended by the window protocol
+}
+
+// Option configures a Source.
+type Option func(*Source)
+
+// WithMeanWait sets a single constant mean waiting time for all rows.
+func WithMeanWait(w time.Duration) Option {
+	return func(s *Source) { s.phases = []Phase{{FromRow: 0, W: w}} }
+}
+
+// WithPhases sets a piecewise waiting-time schedule. Phases must start at
+// row 0 and be strictly increasing in FromRow.
+func WithPhases(phases ...Phase) Option {
+	return func(s *Source) { s.phases = append([]Phase(nil), phases...) }
+}
+
+// WithInitialDelay delays the production of the first tuple by d on top of
+// its regular random delay (the "initial delay" class of §1.2).
+func WithInitialDelay(d time.Duration) Option {
+	return func(s *Source) { s.initialDelay = d }
+}
+
+// New creates a source delivering the given table into q. netTime is the
+// per-tuple network transit time. The source immediately pumps tuples into
+// the queue (production starts at virtual time zero, when the mediator sends
+// the sub-queries out).
+func New(name string, table *relation.Table, q *comm.Queue, rng *sim.RNG, netTime time.Duration, opts ...Option) (*Source, error) {
+	s := &Source{
+		name:    name,
+		rows:    table.Rows,
+		q:       q,
+		rng:     rng,
+		netTime: netTime,
+		phases:  []Phase{{FromRow: 0, W: 0}},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if len(s.phases) == 0 || s.phases[0].FromRow != 0 {
+		return nil, fmt.Errorf("source %q: waiting-time schedule must start at row 0", name)
+	}
+	for i := 1; i < len(s.phases); i++ {
+		if s.phases[i].FromRow <= s.phases[i-1].FromRow {
+			return nil, fmt.Errorf("source %q: phase rows must be strictly increasing", name)
+		}
+	}
+	for _, ph := range s.phases {
+		if ph.W < 0 {
+			return nil, fmt.Errorf("source %q: negative waiting time %v", name, ph.W)
+		}
+	}
+	if s.initialDelay < 0 {
+		return nil, fmt.Errorf("source %q: negative initial delay", name)
+	}
+	q.SetProducer(s)
+	s.pump(0)
+	return s, nil
+}
+
+// Name returns the wrapper name.
+func (s *Source) Name() string { return s.name }
+
+// Rows returns the total number of tuples this source delivers.
+func (s *Source) Rows() int { return len(s.rows) }
+
+// Exhausted reports whether every tuple has been sent to the queue.
+func (s *Source) Exhausted() bool { return s.next >= len(s.rows) && !s.producing }
+
+// Blocked reports whether the window protocol currently suspends the source.
+func (s *Source) Blocked() bool { return s.blocked }
+
+// waitFor returns the mean waiting time in force for the given row.
+func (s *Source) waitFor(row int) time.Duration {
+	w := s.phases[0].W
+	for _, ph := range s.phases {
+		if row >= ph.FromRow {
+			w = ph.W
+		} else {
+			break
+		}
+	}
+	return w
+}
+
+// MeanWait returns the row-weighted average waiting time of the schedule;
+// it is the w used by analytic bounds and by the optimizer's initial
+// annotations.
+func (s *Source) MeanWait() time.Duration {
+	if len(s.rows) == 0 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < len(s.phases); i++ {
+		from := s.phases[i].FromRow
+		to := len(s.rows)
+		if i+1 < len(s.phases) {
+			to = s.phases[i+1].FromRow
+		}
+		if to > len(s.rows) {
+			to = len(s.rows)
+		}
+		if to > from {
+			total += float64(to-from) * s.phases[i].W.Seconds()
+		}
+	}
+	return time.Duration(total / float64(len(s.rows)) * float64(time.Second))
+}
+
+// ExpectedRetrieval returns the expected total time to produce and deliver
+// every tuple, ignoring window-protocol suspensions: the n_p * w_p term of
+// the paper's lower bound.
+func (s *Source) ExpectedRetrieval() time.Duration {
+	wait := time.Duration(float64(len(s.rows)) * s.MeanWait().Seconds() * float64(time.Second))
+	return s.initialDelay + wait + s.netTime
+}
+
+// Resume implements comm.Producer: a pop at virtual time now freed a window
+// slot, so production may continue.
+func (s *Source) Resume(now time.Duration) { s.pump(now) }
+
+// pump advances the production simulation until the window protocol blocks
+// it or the rows are exhausted. floor is the earliest instant the currently
+// held tuple may be sent (the pop time when resuming from suspension).
+func (s *Source) pump(floor time.Duration) {
+	for s.next < len(s.rows) {
+		if !s.producing {
+			w := s.waitFor(s.next)
+			d := s.rng.UniformDelay(w)
+			if s.next == 0 {
+				d += s.initialDelay
+			}
+			s.readyAt = s.startAt + d
+			s.producing = true
+		}
+		if s.q.Full() {
+			s.blocked = true
+			return
+		}
+		send := s.readyAt
+		if floor > send {
+			send = floor
+		}
+		s.q.Push(s.rows[s.next], send+s.netTime)
+		s.next++
+		s.producing = false
+		s.blocked = false
+		s.startAt = send
+	}
+	s.blocked = false
+}

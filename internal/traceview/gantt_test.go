@@ -1,0 +1,117 @@
+package traceview
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dqs/internal/core"
+	"dqs/internal/exec"
+	"dqs/internal/sim"
+	"dqs/internal/workload"
+)
+
+func TestGanttRendersSpans(t *testing.T) {
+	tr := &sim.Trace{}
+	tr.Add(100*time.Millisecond, sim.EvBatch, "p_A first batch")
+	tr.Add(400*time.Millisecond, sim.EvFragmentEnd, "p_A done (100 tuples in)")
+	tr.Add(0, sim.EvBatch, "MF(p_B) first batch")
+	tr.Add(time.Second, sim.EvFragmentEnd, "MF(p_B) done (5 tuples in)")
+	var sb strings.Builder
+	if err := Gantt(&sb, tr, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "p_A") || !strings.Contains(out, "MF(p_B)") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + two rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// Rows are sorted by start: MF(p_B) (t=0) first.
+	if !strings.Contains(lines[1], "MF(p_B)") {
+		t.Errorf("rows not start-ordered:\n%s", out)
+	}
+	// Completed spans end with ']'.
+	if !strings.Contains(lines[1], "]") || !strings.Contains(lines[2], "]") {
+		t.Errorf("span end markers missing:\n%s", out)
+	}
+	// Span bars scale with time: p_A starts after MF(p_B).
+	if strings.Index(lines[2], "[") <= strings.Index(lines[1], "[") {
+		t.Errorf("later start not drawn later:\n%s", out)
+	}
+}
+
+func TestGanttUnfinishedSpan(t *testing.T) {
+	tr := &sim.Trace{}
+	tr.Add(0, sim.EvBatch, "p_A first batch")
+	tr.Add(time.Second, sim.EvBatch, "p_B first batch") // extends horizon
+	var sb strings.Builder
+	if err := Gantt(&sb, tr, 32); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), ">") {
+		t.Errorf("unfinished span not marked:\n%s", sb.String())
+	}
+}
+
+func TestGanttDegenerateInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := Gantt(&sb, nil, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty trace") {
+		t.Errorf("nil trace output = %q", sb.String())
+	}
+	sb.Reset()
+	tr := &sim.Trace{}
+	tr.Add(0, sim.EvStall, "stall")
+	if err := Gantt(&sb, tr, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no fragment activity") {
+		t.Errorf("no-activity output = %q", sb.String())
+	}
+}
+
+func TestGanttEndToEndFromEngineTrace(t *testing.T) {
+	// A real DSE trace renders with one row per fragment that ran.
+	// (Uses the exec/core stack indirectly through the dqs facade — kept
+	// here as an integration check of the note formats the view parses.)
+	out := runSmallDSETrace(t)
+	for _, want := range []string{"p_E", "p_D", "CF(p_A)", "MF(p_A)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// runSmallDSETrace executes the small Figure-5 workload under DSE with a
+// trace and returns its Gantt rendering.
+func runSmallDSETrace(t *testing.T) string {
+	t.Helper()
+	w, err := workload.Fig5Small(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := exec.DefaultConfig()
+	tr := &sim.Trace{}
+	cfg.Trace = tr
+	del := make(map[string]exec.Delivery)
+	for _, name := range w.Catalog.Names() {
+		del[name] = exec.Delivery{MeanWait: 20 * time.Microsecond}
+	}
+	rt, err := exec.NewRuntime(cfg, w.Root, w.Dataset, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.RunDSE(rt); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Gantt(&sb, tr, 60); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}

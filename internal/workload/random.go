@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"fmt"
+
+	"dqs/internal/optimizer"
+	"dqs/internal/relation"
+	"dqs/internal/sim"
+)
+
+// RandomSpec bounds the random workload generator.
+type RandomSpec struct {
+	Relations int // number of relations (>= 2)
+	MinCard   int // minimum base cardinality
+	MaxCard   int // maximum base cardinality
+	// FanoutCap bounds the expected per-join output growth: each join's
+	// expected output is at most FanoutCap times its probe input.
+	FanoutCap float64
+}
+
+// DefaultRandomSpec returns a spec suitable for fast property tests.
+func DefaultRandomSpec() RandomSpec {
+	return RandomSpec{Relations: 5, MinCard: 500, MaxCard: 4000, FanoutCap: 1.5}
+}
+
+// Random generates a random acyclic join workload in the style of the
+// query-generation algorithm of the paper's reference [14]: a uniformly
+// random join tree over relations with random cardinalities, with domains
+// chosen so expected intermediate results stay bounded. The physical plan
+// comes from the DP optimizer.
+func Random(rng *sim.RNG, spec RandomSpec) (*Workload, error) {
+	if spec.Relations < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 relations, got %d", spec.Relations)
+	}
+	if spec.MinCard < 1 || spec.MaxCard < spec.MinCard {
+		return nil, fmt.Errorf("workload: bad cardinality band [%d, %d]", spec.MinCard, spec.MaxCard)
+	}
+	if spec.FanoutCap <= 0 {
+		return nil, fmt.Errorf("workload: FanoutCap must be positive")
+	}
+	cat := relation.NewCatalog()
+	names := make([]string, spec.Relations)
+	cards := make([]int, spec.Relations)
+	// Columns: one id plus one join column per potential edge; a node in a
+	// tree has at most Relations-1 incident edges, but allocating per-edge
+	// columns keeps every join independent.
+	colsUsed := make([]int, spec.Relations)
+	for i := range names {
+		names[i] = fmt.Sprintf("R%02d", i)
+		cards[i] = spec.MinCard + rng.Intn(spec.MaxCard-spec.MinCard+1)
+		cols := []string{"id"}
+		for k := 0; k < spec.Relations-1; k++ {
+			cols = append(cols, fmt.Sprintf("k%d", k))
+		}
+		cat.MustAdd(names[i], cards[i], cols...)
+	}
+	// Random tree: attach node i to a uniformly random earlier node.
+	var edges []joinEdge
+	for i := 1; i < spec.Relations; i++ {
+		j := rng.Intn(i)
+		// Domain bound keeps the expected output of joining the two base
+		// relations within FanoutCap of the larger side.
+		lo := float64(cards[i]) * float64(cards[j]) / (spec.FanoutCap * float64(max(cards[i], cards[j])))
+		hi := lo * 4
+		domain := int64(lo + rng.Float64()*(hi-lo))
+		if domain < 1 {
+			domain = 1
+		}
+		e := joinEdge{
+			leftRel:  names[j],
+			leftCol:  fmt.Sprintf("k%d", colsUsed[j]),
+			rightRel: names[i],
+			rightCol: fmt.Sprintf("k%d", colsUsed[i]),
+			domain:   domain,
+		}
+		colsUsed[j]++
+		colsUsed[i]++
+		edges = append(edges, e)
+	}
+	ds, stats, err := assemble(cat, edges, rng.Int63n(1<<62))
+	if err != nil {
+		return nil, err
+	}
+	q := queryFromEdges(cat, edges)
+	root, err := optimizer.Optimize(cat, q, stats)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Catalog: cat, Query: q, Stats: stats, Root: root, Dataset: ds}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"dqs/internal/plan"
+	"dqs/internal/relation"
+)
+
+// StarSpec sizes a star-schema workload: one large fact relation joined to
+// k dimension relations. The resulting plan shape is the opposite extreme
+// of the Figure-5 chain: every dimension chain is an independent leaf build
+// (schedulable immediately), while the fact chain probes all of them and
+// carries the entire output — so the fact wrapper is the dominant delivery
+// risk, and degrading the fact stream is the scheduler's big lever.
+type StarSpec struct {
+	FactRows     int
+	Dimensions   int
+	DimRows      int
+	FanoutTarget float64 // expected output rows per fact row after all joins
+}
+
+// DefaultStarSpec returns a medium star: 100K facts, 4 dimensions of 10K.
+func DefaultStarSpec() StarSpec {
+	return StarSpec{FactRows: 100000, Dimensions: 4, DimRows: 10000, FanoutTarget: 0.5}
+}
+
+// SmallStarSpec returns a 1/10-scale star for tests.
+func SmallStarSpec() StarSpec {
+	return StarSpec{FactRows: 10000, Dimensions: 4, DimRows: 1000, FanoutTarget: 0.5}
+}
+
+// Star assembles a star workload: the physical plan probes the fact stream
+// through every dimension hash table (in dimension order).
+func Star(seed int64, spec StarSpec) (*Workload, error) {
+	if spec.FactRows <= 0 || spec.DimRows <= 0 {
+		return nil, fmt.Errorf("workload: star sizes must be positive")
+	}
+	if spec.Dimensions < 1 || spec.Dimensions > 8 {
+		return nil, fmt.Errorf("workload: star supports 1..8 dimensions, got %d", spec.Dimensions)
+	}
+	if spec.FanoutTarget <= 0 {
+		return nil, fmt.Errorf("workload: FanoutTarget must be positive")
+	}
+	cat := relation.NewCatalog()
+	factCols := []string{"id"}
+	for i := 0; i < spec.Dimensions; i++ {
+		factCols = append(factCols, fmt.Sprintf("d%d", i))
+	}
+	fact := cat.MustAdd("FACT", spec.FactRows, factCols...)
+	// Per-join selectivity so the total fanout hits the target: each join
+	// keeps fraction f of the stream with f^k = FanoutTarget.
+	perJoin := math.Pow(spec.FanoutTarget, 1/float64(spec.Dimensions))
+	var edges []joinEdge
+	dims := make([]*relation.Relation, spec.Dimensions)
+	for i := 0; i < spec.Dimensions; i++ {
+		name := fmt.Sprintf("DIM%d", i)
+		dims[i] = cat.MustAdd(name, spec.DimRows, "id", "key")
+		// Expected matches per fact tuple: |DIM|/domain = perJoin.
+		domain := int64(float64(spec.DimRows) / perJoin)
+		if domain < 1 {
+			domain = 1
+		}
+		edges = append(edges, joinEdge{
+			leftRel: "FACT", leftCol: fmt.Sprintf("d%d", i),
+			rightRel: name, rightCol: "key",
+			domain: domain,
+		})
+	}
+	ds, stats, err := assemble(cat, edges, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Hand-build the canonical star plan: fact probes every dimension.
+	b := plan.NewBuilder()
+	cur, err := b.Scan(fact, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range dims {
+		dimScan, err := b.Scan(d, nil)
+		if err != nil {
+			return nil, err
+		}
+		cur, err = b.HashJoin(dimScan, cur,
+			relation.ColRef{Rel: d.Name, Col: "key"},
+			relation.ColRef{Rel: "FACT", Col: fmt.Sprintf("d%d", i)})
+		if err != nil {
+			return nil, err
+		}
+	}
+	root, err := b.Output(cur)
+	if err != nil {
+		return nil, err
+	}
+	if err := stats.Annotate(root); err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Catalog: cat,
+		Query:   queryFromEdges(cat, edges),
+		Stats:   stats,
+		Root:    root,
+		Dataset: ds,
+	}, nil
+}

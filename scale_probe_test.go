@@ -1,0 +1,40 @@
+package dqs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScaleProbe is a development probe at full Figure-5 scale; it prints
+// the strategy landscape for one slowdown point. Kept because it doubles as
+// a full-scale consistency check.
+func TestScaleProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale probe")
+	}
+	w, err := Fig5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	for _, wa := range []time.Duration{20 * time.Microsecond, 53 * time.Microsecond} {
+		del := UniformDeliveries(w, 20*time.Microsecond)
+		del["A"] = Delivery{MeanWait: wa}
+		lwb, _ := LowerBound(RunSpec{Workload: w, Config: cfg, Deliveries: del})
+		t.Logf("w_A=%v retrievalA=%.2fs LWB=%.2fs", wa, (time.Duration(150000) * wa).Seconds(), lwb.Seconds())
+		var out int64 = -1
+		for _, s := range Strategies() {
+			start := time.Now()
+			res, err := Run(RunSpec{Workload: w, Config: cfg, Strategy: s, Deliveries: del})
+			if err != nil {
+				t.Fatalf("%s: %v", s, err)
+			}
+			t.Logf("  %v  (wall %v, replans=%d degr=%d)", res, time.Since(start).Round(time.Millisecond), res.Replans, res.Degradations)
+			if out == -1 {
+				out = res.OutputRows
+			} else if res.OutputRows != out {
+				t.Errorf("  %s output %d != %d", s, res.OutputRows, out)
+			}
+		}
+	}
+}

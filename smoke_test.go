@@ -1,0 +1,51 @@
+package dqs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSmokeStrategiesAgree runs the scaled-down Figure-5 workload under all
+// three strategies and checks they produce identical result cardinalities,
+// that nobody beats the analytic lower bound, and that DSE does not lose to
+// SEQ under a slow wrapper.
+func TestSmokeStrategiesAgree(t *testing.T) {
+	w, err := Fig5Small(7)
+	if err != nil {
+		t.Fatalf("Fig5Small: %v", err)
+	}
+	cfg := DefaultConfig()
+	del := UniformDeliveries(w, 20*time.Microsecond)
+	del["A"] = Delivery{MeanWait: 80 * time.Microsecond}
+
+	results := make(map[Strategy]Result)
+	for _, s := range Strategies() {
+		res, err := Run(RunSpec{Workload: w, Config: cfg, Strategy: s, Deliveries: del})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		t.Logf("%v", res)
+		results[s] = res
+	}
+	if results[SEQ].OutputRows != results[DSE].OutputRows || results[SEQ].OutputRows != results[MA].OutputRows {
+		t.Fatalf("output cardinalities disagree: SEQ=%d MA=%d DSE=%d",
+			results[SEQ].OutputRows, results[MA].OutputRows, results[DSE].OutputRows)
+	}
+	if results[SEQ].OutputRows == 0 {
+		t.Fatalf("empty result; workload selectivities are broken")
+	}
+	lwb, err := LowerBound(RunSpec{Workload: w, Config: cfg, Deliveries: del})
+	if err != nil {
+		t.Fatalf("LowerBound: %v", err)
+	}
+	t.Logf("LWB = %v", lwb)
+	for s, res := range results {
+		if res.ResponseTime < lwb {
+			t.Errorf("%s beats the lower bound: %v < %v", s, res.ResponseTime, lwb)
+		}
+	}
+	if results[DSE].ResponseTime > results[SEQ].ResponseTime {
+		t.Errorf("DSE (%v) slower than SEQ (%v) with a slowed wrapper",
+			results[DSE].ResponseTime, results[SEQ].ResponseTime)
+	}
+}
