@@ -1,0 +1,27 @@
+# Developer and CI entry points. `make check` is the gate every change
+# must pass: static analysis plus the full test suite under the race
+# detector, so the parallel experiment harness stays race-clean.
+
+GO ?= go
+
+.PHONY: build vet test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment sweeps make the race suite a few minutes of single-core
+# work; use `make race PKG=./internal/experiment/...` to focus one tree.
+PKG ?= ./...
+race:
+	$(GO) test -race $(PKG)
+
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -4,16 +4,23 @@
 // Usage:
 //
 //	dqsbench [-exp all|table1|fig5|fig6|fig7|fig8|position|ablations] \
-//	         [-reps N] [-small] [-csv] [-chart]
+//	         [-reps N] [-parallel N] [-small] [-csv] [-chart]
 //
 // Output is the same rows/series the paper plots; -csv additionally emits
 // machine-readable data, and -chart draws crude ASCII charts of the shapes.
+//
+// Every sweep is a grid of independent deterministic simulator runs
+// (cells); -parallel bounds the worker pool executing them (default:
+// GOMAXPROCS). Parallelism changes wall-clock time only — the reported
+// virtual times, and therefore the printed figures, are byte-identical at
+// any worker count. A per-cell profiling summary goes to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"dqs/internal/experiment"
@@ -21,22 +28,31 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, fig8, position, delays, multiquery, star, ablations, ablation-bmt, ablation-batch, ablation-queue, ablation-message, ablation-skew, ablation-memory")
-		reps  = flag.Int("reps", 3, "measurement repetitions (paper: 3)")
-		small = flag.Bool("small", false, "run at 1/10 scale (fast)")
-		csv   = flag.Bool("csv", false, "also print CSV data")
-		chart = flag.Bool("chart", false, "also draw ASCII charts")
+		exp      = flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, fig8, position, delays, multiquery, star, ablations, ablation-bmt, ablation-batch, ablation-queue, ablation-message, ablation-skew, ablation-memory")
+		reps     = flag.Int("reps", 3, "measurement repetitions (paper: 3)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulator runs; figure output is identical at any setting")
+		small    = flag.Bool("small", false, "run at 1/10 scale (fast)")
+		csv      = flag.Bool("csv", false, "also print CSV data")
+		chart    = flag.Bool("chart", false, "also draw ASCII charts")
 	)
 	flag.Parse()
-	if err := run(*exp, *reps, *small, *csv, *chart); err != nil {
+	if err := run(*exp, *reps, *parallel, *small, *csv, *chart); err != nil {
 		fmt.Fprintln(os.Stderr, "dqsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, reps int, small, csv, chart bool) error {
+func run(exp string, reps, parallel int, small, csv, chart bool) error {
+	if reps < 1 {
+		return fmt.Errorf("-reps must be at least 1, got %d", reps)
+	}
+	if parallel < 1 {
+		return fmt.Errorf("-parallel must be at least 1, got %d", parallel)
+	}
 	o := experiment.DefaultOptions()
 	o.Small = small
+	o.Parallel = parallel
+	o.Stats = &experiment.RunStats{}
 	o.Seeds = o.Seeds[:0]
 	for i := 1; i <= reps; i++ {
 		o.Seeds = append(o.Seeds, int64(i))
@@ -57,9 +73,16 @@ func run(exp string, reps int, small, csv, chart bool) error {
 		return nil
 	}
 
-	want := func(name string) bool { return exp == "all" || exp == name }
+	matched := false
+	want := func(name string) bool {
+		ok := exp == "all" || exp == name
+		matched = matched || ok
+		return ok
+	}
 	wantAblation := func(name string) bool {
-		return exp == "all" || exp == "ablations" || exp == "ablation-"+name
+		ok := exp == "all" || exp == "ablations" || exp == "ablation-"+name
+		matched = matched || ok
+		return ok
 	}
 
 	start := time.Now()
@@ -140,6 +163,12 @@ func run(exp string, reps int, small, csv, chart bool) error {
 			return fmt.Errorf("ablation-memory: %w", err)
 		}
 	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q (see -exp in -help for the list)", exp)
+	}
 	fmt.Fprintf(out, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	if o.Stats.Cells() > 0 {
+		fmt.Fprintf(os.Stderr, "harness: workers=%d %s\n", o.Workers(), o.Stats.Summary())
+	}
 	return nil
 }

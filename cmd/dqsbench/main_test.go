@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsNonPositiveReps(t *testing.T) {
+	for _, reps := range []int{0, -1, -3} {
+		err := run("table1", reps, 1, true, false, false)
+		if err == nil {
+			t.Fatalf("reps=%d accepted; a non-positive repetition count must not silently fall back to one run", reps)
+		}
+		if !strings.Contains(err.Error(), "-reps") {
+			t.Errorf("reps=%d: error %q does not name the flag", reps, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	err := run("bogus", 1, 1, true, false, false)
+	if err == nil {
+		t.Fatal("unknown experiment accepted; it must not silently run nothing")
+	}
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error %q does not name the experiment", err)
+	}
+}
+
+func TestRunRejectsNonPositiveParallel(t *testing.T) {
+	for _, parallel := range []int{0, -4} {
+		err := run("table1", 1, parallel, true, false, false)
+		if err == nil {
+			t.Fatalf("parallel=%d accepted", parallel)
+		}
+		if !strings.Contains(err.Error(), "-parallel") {
+			t.Errorf("parallel=%d: error %q does not name the flag", parallel, err)
+		}
+	}
+}

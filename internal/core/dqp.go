@@ -79,9 +79,18 @@ func (e *Engine) processPhase(sp []*exec.Fragment) event {
 			}
 			if f.In.Exhausted() {
 				// Input is gone; let the fragment finalize.
+				pendingBefore := f.PendingOutputs()
 				f.ProcessBatch(0)
 				if f.Done() {
 					return event{kind: evEndOfQF, frag: f}
+				}
+				if f.PendingOutputs() < pendingBefore {
+					// Finalization sank stranded output: that is progress,
+					// so re-enter at the top of the priority list rather
+					// than falling through to the stall/timeout
+					// computation below.
+					acted = true
+					break
 				}
 			}
 		}

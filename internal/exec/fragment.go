@@ -203,6 +203,11 @@ func (rt *Runtime) NewSegment(c *plan.Chain, fromStep, toStep int, prev *mem.Tem
 // Done reports whether the fragment has fully terminated.
 func (f *Fragment) Done() bool { return f.done }
 
+// PendingOutputs returns the number of terminal-ready tuples stranded by a
+// memory overflow and awaiting retry; a drop between scheduler
+// observations means the fragment made progress without consuming input.
+func (f *Fragment) PendingOutputs() int { return len(f.pending) }
+
 // Processed returns the number of input tuples consumed so far.
 func (f *Fragment) Processed() int64 { return f.processed }
 

@@ -30,32 +30,26 @@ func (o Options) ablationDeliveries(cfg exec.Config) func(w *workload.Workload) 
 func AblationBMT(o Options) (*Figure, error) {
 	fig := NewFigure("Ablation/bmt", "benefit materialization threshold sweep",
 		"bmt", "value", "DSE(s)", "degradations", "mat(Ktuples)")
-	for _, bmt := range []float64{0, 0.25, 0.5, 1, 1.5, 2, 4, 1e9} {
+	sw := o.newSweep()
+	bmts := []float64{0, 0.25, 0.5, 1, 1.5, 2, 4, 1e9}
+	groups := make([]seedGroup, len(bmts))
+	for i, bmt := range bmts {
 		cfg := o.config()
 		cfg.BMT = bmt
-		mk := o.ablationDeliveries(cfg)
-		var secs, degr, mat float64
-		for _, seed := range o.seeds() {
-			w, err := o.loadWorkload(seed)
-			if err != nil {
-				return nil, err
-			}
-			c := cfg
-			c.Seed = seed
-			res, err := runStrategy(w, c, mk(w), "DSE")
-			if err != nil {
-				return nil, err
-			}
-			secs += res.ResponseTime.Seconds()
-			degr += float64(res.Degradations)
-			mat += float64(res.MaterializedTuples) / 1000
-		}
-		n := float64(len(o.seeds()))
+		groups[i] = sw.add(cfg, "DSE", o.ablationDeliveries(cfg), nil)
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
+	}
+	for i, bmt := range bmts {
 		x := bmt
 		if x > 100 {
 			x = 100 // plot sentinel for "disabled"
 		}
-		fig.AddPoint(x, secs/n, degr/n, mat/n)
+		fig.AddPoint(x,
+			sw.meanResponse(groups[i]),
+			sw.mean(groups[i], func(r exec.Result) float64 { return float64(r.Degradations) }),
+			sw.mean(groups[i], func(r exec.Result) float64 { return float64(r.MaterializedTuples) / 1000 }))
 	}
 	return fig, nil
 }
@@ -65,27 +59,21 @@ func AblationBMT(o Options) (*Figure, error) {
 func AblationBatch(o Options) (*Figure, error) {
 	fig := NewFigure("Ablation/batch", "DQP batch size sweep",
 		"batch(tuples)", "value", "DSE(s)", "replans")
-	for _, batch := range []int{16, 64, 256, 1024, 4096, 16384} {
+	sw := o.newSweep()
+	batches := []int{16, 64, 256, 1024, 4096, 16384}
+	groups := make([]seedGroup, len(batches))
+	for i, batch := range batches {
 		cfg := o.config()
 		cfg.BatchTuples = batch
-		mk := o.ablationDeliveries(cfg)
-		var secs, replans float64
-		for _, seed := range o.seeds() {
-			w, err := o.loadWorkload(seed)
-			if err != nil {
-				return nil, err
-			}
-			c := cfg
-			c.Seed = seed
-			res, err := runStrategy(w, c, mk(w), "DSE")
-			if err != nil {
-				return nil, err
-			}
-			secs += res.ResponseTime.Seconds()
-			replans += float64(res.Replans)
-		}
-		n := float64(len(o.seeds()))
-		fig.AddPoint(float64(batch), secs/n, replans/n)
+		groups[i] = sw.add(cfg, "DSE", o.ablationDeliveries(cfg), nil)
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
+	}
+	for i, batch := range batches {
+		fig.AddPoint(float64(batch),
+			sw.meanResponse(groups[i]),
+			sw.mean(groups[i], func(r exec.Result) float64 { return float64(r.Replans) }))
 	}
 	return fig, nil
 }
@@ -96,19 +84,41 @@ func AblationBatch(o Options) (*Figure, error) {
 func AblationQueue(o Options) (*Figure, error) {
 	fig := NewFigure("Ablation/queue", "wrapper queue (window) size sweep",
 		"queue(pages)", "response time (s)", "SEQ", "DSE")
-	for _, pages := range []int{1, 2, 4, 8, 16, 64} {
+	pageSizes := []int{1, 2, 4, 8, 16, 64}
+	mkCfg := func(pages int) exec.Config {
 		cfg := o.config()
 		cfg.QueueTuples = pages * cfg.Params.TuplesPerPage()
+		return cfg
+	}
+	return o.twoStrategySweep(fig, floatsOf(pageSizes), mkCfg)
+}
+
+// floatsOf converts an int axis to the float x-values a Figure plots.
+func floatsOf(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// twoStrategySweep runs the SEQ-vs-DSE config sweeps shared by the queue
+// and message ablations: one configuration per x-value, both strategies,
+// averaged over the option seeds.
+func (o Options) twoStrategySweep(fig *Figure, xs []float64, mkCfg func(x int) exec.Config) (*Figure, error) {
+	sw := o.newSweep()
+	type point struct{ seq, dse seedGroup }
+	points := make([]point, len(xs))
+	for i, x := range xs {
+		cfg := mkCfg(int(x))
 		mk := o.ablationDeliveries(cfg)
-		values := make([]float64, 0, 2)
-		for _, s := range []string{"SEQ", "DSE"} {
-			v, err := avgResponse(o, cfg, s, mk)
-			if err != nil {
-				return nil, err
-			}
-			values = append(values, v)
-		}
-		fig.AddPoint(float64(pages), values...)
+		points[i] = point{seq: sw.add(cfg, "SEQ", mk, nil), dse: sw.add(cfg, "DSE", mk, nil)}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
+	}
+	for i, x := range xs {
+		fig.AddPoint(x, sw.meanResponse(points[i].seq), sw.meanResponse(points[i].dse))
 	}
 	return fig, nil
 }
@@ -118,21 +128,12 @@ func AblationQueue(o Options) (*Figure, error) {
 func AblationMessage(o Options) (*Figure, error) {
 	fig := NewFigure("Ablation/message", "message payload sweep",
 		"pages/msg", "response time (s)", "SEQ", "DSE")
-	for _, pages := range []int{1, 2, 4, 8, 16} {
+	mkCfg := func(pages int) exec.Config {
 		cfg := o.config()
 		cfg.Params.PagesPerMessage = pages
-		mk := o.ablationDeliveries(cfg)
-		values := make([]float64, 0, 2)
-		for _, s := range []string{"SEQ", "DSE"} {
-			v, err := avgResponse(o, cfg, s, mk)
-			if err != nil {
-				return nil, err
-			}
-			values = append(values, v)
-		}
-		fig.AddPoint(float64(pages), values...)
+		return cfg
 	}
-	return fig, nil
+	return o.twoStrategySweep(fig, floatsOf([]int{1, 2, 4, 8, 16}), mkCfg)
 }
 
 // AblationSkew sweeps systematic optimizer estimation error (the paper's
@@ -144,7 +145,11 @@ func AblationMessage(o Options) (*Figure, error) {
 func AblationSkew(o Options) (*Figure, error) {
 	fig := NewFigure("Ablation/skew", "optimizer estimation-error sweep",
 		"skew(x)", "value", "DSE(s)", "memRepairs")
-	for _, skew := range []float64{0.25, 0.5, 1, 2, 4} {
+	sw := o.newSweep()
+	skews := []float64{0.25, 0.5, 1, 2, 4}
+	groups := make([]seedGroup, len(skews))
+	for i, skew := range skews {
+		skew := skew
 		cfg := o.config()
 		// A moderately tight grant makes estimate quality matter.
 		if o.Small {
@@ -152,24 +157,16 @@ func AblationSkew(o Options) (*Figure, error) {
 		} else {
 			cfg.MemoryBytes = 20 << 20
 		}
-		mk := o.ablationDeliveries(cfg)
-		var secs, repairs float64
-		for _, seed := range o.seeds() {
-			w, err := loadSkewed(o, seed, skew)
-			if err != nil {
-				return nil, err
-			}
-			c := cfg
-			c.Seed = seed
-			res, err := runStrategy(w, c, mk(w), "DSE")
-			if err != nil {
-				return nil, fmt.Errorf("skew %v: %w", skew, err)
-			}
-			secs += res.ResponseTime.Seconds()
-			repairs += float64(res.MemRepairs)
-		}
-		n := float64(len(o.seeds()))
-		fig.AddPoint(skew, secs/n, repairs/n)
+		load := func(seed int64) (*workload.Workload, error) { return loadSkewed(o, seed, skew) }
+		groups[i] = sw.add(cfg, "DSE", o.ablationDeliveries(cfg), load)
+	}
+	if err := sw.run(); err != nil {
+		return nil, fmt.Errorf("skew: %w", err)
+	}
+	for i, skew := range skews {
+		fig.AddPoint(skew,
+			sw.meanResponse(groups[i]),
+			sw.mean(groups[i], func(r exec.Result) float64 { return float64(r.MemRepairs) }))
 	}
 	return fig, nil
 }
@@ -202,37 +199,28 @@ func AblationMemory(o Options) (*Figure, error) {
 	if o.Small {
 		grantsMB = []float64{0.3, 0.5, 0.8, 0.9, 1, 1.2, 1.6, 3.2, 6.4}
 	}
-	for _, mb := range grantsMB {
+	sw := o.newSweep()
+	// An infeasible grant is an expected per-point outcome, not a sweep
+	// failure.
+	sw.tolerate = func(err error) bool { return errors.Is(err, core.ErrInsufficientMemory) }
+	groups := make([]seedGroup, len(grantsMB))
+	for i, mb := range grantsMB {
 		cfg := o.config()
 		cfg.MemoryBytes = int64(mb * (1 << 20))
-		mk := o.ablationDeliveries(cfg)
-		var secs, repairs, peak float64
-		infeasible := false
-		for _, seed := range o.seeds() {
-			w, err := o.loadWorkload(seed)
-			if err != nil {
-				return nil, err
-			}
-			c := cfg
-			c.Seed = seed
-			res, err := runStrategy(w, c, mk(w), "DSE")
-			if errors.Is(err, core.ErrInsufficientMemory) {
-				infeasible = true
-				break
-			}
-			if err != nil {
-				return nil, err
-			}
-			secs += res.ResponseTime.Seconds()
-			repairs += float64(res.MemRepairs)
-			peak += float64(res.PeakMemBytes) / (1 << 20)
-		}
-		if infeasible {
+		groups[i] = sw.add(cfg, "DSE", o.ablationDeliveries(cfg), nil)
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
+	}
+	for i, mb := range grantsMB {
+		if sw.failed(groups[i]) {
 			fig.AddPoint(mb, -1, 0, 0)
 			continue
 		}
-		n := float64(len(o.seeds()))
-		fig.AddPoint(mb, secs/n, repairs/n, peak/n)
+		fig.AddPoint(mb,
+			sw.meanResponse(groups[i]),
+			sw.mean(groups[i], func(r exec.Result) float64 { return float64(r.MemRepairs) }),
+			sw.mean(groups[i], func(r exec.Result) float64 { return float64(r.PeakMemBytes) / (1 << 20) }))
 	}
 	return fig, nil
 }

@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"fmt"
 	"time"
 
 	"dqs/internal/exec"
@@ -61,14 +60,20 @@ func DelayClasses(o Options) (*Figure, error) {
 			return d
 		}},
 	}
+	sw := o.newSweep()
+	groups := make([][]seedGroup, len(scenarios))
 	for i, sc := range scenarios {
-		values := make([]float64, 0, 4)
 		for _, strat := range []string{"SEQ", "SCR", "DPHJ", "DSE"} {
-			v, err := avgResponse(o, cfg, strat, sc.mk)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", sc.name, strat, err)
-			}
-			values = append(values, v)
+			groups[i] = append(groups[i], sw.add(cfg, strat, sc.mk, nil))
+		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
+	}
+	for i := range scenarios {
+		values := make([]float64, 0, 4)
+		for _, g := range groups[i] {
+			values = append(values, sw.meanResponse(g))
 		}
 		fig.AddPoint(float64(i), values...)
 	}

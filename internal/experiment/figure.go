@@ -3,6 +3,13 @@
 // experiment returns its data as a Figure so tests and benchmarks can
 // assert the qualitative shapes the paper reports, and prints the same
 // rows/series the paper plots.
+//
+// Every sweep decomposes into Cells — independent deterministic simulator
+// runs (workload seed × config × strategy × delivery generator) — that a
+// bounded worker pool (Options.Parallel) executes concurrently. Results
+// are assembled into Figures in the enqueue order, so parallelism changes
+// wall-clock time only: the reported virtual times, and therefore the
+// printed figures, are byte-identical at any worker count.
 package experiment
 
 import (

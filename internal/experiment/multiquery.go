@@ -23,61 +23,86 @@ func MultiQuery(o Options) (*Figure, error) {
 	wait := 50 * time.Microsecond
 	fig := NewFigure("MultiQuery", "concurrent queries on one mediator (DSE, global scheduler)",
 		"queries", "value", "avg-response(s)", "makespan(s)", "serial(s)", "speedup")
-	for _, n := range []int{1, 2, 3, 4} {
-		var avgResp, makespan, serial float64
-		for _, seed := range o.seeds() {
-			med, err := exec.NewMediator(withSeed(cfg, seed))
-			if err != nil {
-				return nil, err
-			}
-			var rts []*exec.Runtime
-			for i := 0; i < n; i++ {
-				w, err := o.loadQueryInstance(seed, i)
-				if err != nil {
-					return nil, err
-				}
-				rt, err := med.AddQuery(fmt.Sprintf("q%d", i+1), w.Root, w.Dataset, uniformDeliveries(w, wait))
-				if err != nil {
-					return nil, err
-				}
-				rts = append(rts, rt)
-			}
-			results, err := core.RunMultiDSE(med, rts)
-			if err != nil {
-				return nil, fmt.Errorf("n=%d: %w", n, err)
-			}
-			var sumResp, maxResp float64
-			for _, r := range results {
-				s := r.ResponseTime.Seconds()
-				sumResp += s
-				if s > maxResp {
-					maxResp = s
-				}
-			}
-			avgResp += sumResp / float64(n)
-			makespan += maxResp
 
-			// Serial reference: the same queries one after another on
-			// fresh mediators.
-			var tot float64
-			for i := 0; i < n; i++ {
-				w, err := o.loadQueryInstance(seed, i)
-				if err != nil {
-					return nil, err
-				}
-				rt, err := exec.NewRuntime(withSeed(cfg, seed), w.Root, w.Dataset, uniformDeliveries(w, wait))
-				if err != nil {
-					return nil, err
-				}
-				res, err := core.RunDSE(rt)
-				if err != nil {
-					return nil, err
-				}
-				tot += res.ResponseTime.Seconds()
-			}
-			serial += tot
+	// A multi-query measurement is not a plain Cell (it drives one shared
+	// mediator with several runtimes plus a serial reference), but each
+	// (concurrency level, seed) pair is still an independent deterministic
+	// simulation, so they all run concurrently on the same bounded pool and
+	// are folded back in deterministic order.
+	levels := []int{1, 2, 3, 4}
+	seeds := o.seeds()
+	type unit struct{ avgResp, makespan, serial float64 }
+	units := make([]unit, len(levels)*len(seeds))
+	err := o.forEach(len(units), func(j int) error {
+		n, seed := levels[j/len(seeds)], seeds[j%len(seeds)]
+		start := time.Now()
+		med, err := exec.NewMediator(withSeed(cfg, seed))
+		if err != nil {
+			return err
 		}
-		reps := float64(len(o.seeds()))
+		var rts []*exec.Runtime
+		for i := 0; i < n; i++ {
+			w, err := o.loadQueryInstance(seed, i)
+			if err != nil {
+				return err
+			}
+			rt, err := med.AddQuery(fmt.Sprintf("q%d", i+1), w.Root, w.Dataset, uniformDeliveries(w, wait))
+			if err != nil {
+				return err
+			}
+			rts = append(rts, rt)
+		}
+		results, err := core.RunMultiDSE(med, rts)
+		if err != nil {
+			return fmt.Errorf("n=%d: %w", n, err)
+		}
+		var sumResp, maxResp float64
+		var last exec.Result
+		for _, r := range results {
+			s := r.ResponseTime.Seconds()
+			sumResp += s
+			if s > maxResp {
+				maxResp = s
+			}
+			last = r
+		}
+		units[j].avgResp = sumResp / float64(n)
+		units[j].makespan = maxResp
+
+		// Serial reference: the same queries one after another on fresh
+		// mediators.
+		var tot float64
+		for i := 0; i < n; i++ {
+			w, err := o.loadQueryInstance(seed, i)
+			if err != nil {
+				return err
+			}
+			rt, err := exec.NewRuntime(withSeed(cfg, seed), w.Root, w.Dataset, uniformDeliveries(w, wait))
+			if err != nil {
+				return err
+			}
+			res, err := core.RunDSE(rt)
+			if err != nil {
+				return err
+			}
+			tot += res.ResponseTime.Seconds()
+		}
+		units[j].serial = tot
+		o.Stats.observe(CellResult{Result: last, Wall: time.Since(start)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, n := range levels {
+		var avgResp, makespan, serial float64
+		for si := range seeds {
+			u := units[li*len(seeds)+si]
+			avgResp += u.avgResp
+			makespan += u.makespan
+			serial += u.serial
+		}
+		reps := float64(len(seeds))
 		avgResp /= reps
 		makespan /= reps
 		serial /= reps

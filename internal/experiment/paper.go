@@ -92,6 +92,13 @@ func SlowOne(o Options, relName string) (*Figure, error) {
 		fmt.Sprintf("one slowed-down relation (%s)", relName),
 		"retrieval(s)", "response time (s)",
 		append(append([]string{}, strategies...), "LWB")...)
+	type point struct {
+		x      float64
+		mk     deliveriesFn
+		groups []seedGroup
+	}
+	sw := o.newSweep()
+	var points []point
 	seen := make(map[time.Duration]bool)
 	for _, x := range o.slowdownPoints() {
 		wSlow := time.Duration(x / float64(card) * float64(time.Second))
@@ -110,24 +117,30 @@ func SlowOne(o Options, relName string) (*Figure, error) {
 			d[relName] = exec.Delivery{MeanWait: wSlow}
 			return d
 		}
-		values := make([]float64, 0, len(strategies)+1)
+		p := point{x: x, mk: mk}
 		for _, s := range strategies {
-			v, err := avgResponse(o, cfg, s, mk)
-			if err != nil {
-				return nil, fmt.Errorf("%s at %gs: %w", s, x, err)
-			}
-			values = append(values, v)
+			p.groups = append(p.groups, sw.add(cfg, s, mk, nil))
+		}
+		points = append(points, p)
+	}
+	if err := sw.run(); err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	for _, p := range points {
+		values := make([]float64, 0, len(strategies)+1)
+		for _, g := range p.groups {
+			values = append(values, sw.meanResponse(g))
 		}
 		wl, err := o.loadWorkload(o.seeds()[0])
 		if err != nil {
 			return nil, err
 		}
-		lwb, err := lowerBound(wl, cfg, mk(wl))
+		lwb, err := lowerBound(wl, cfg, p.mk(wl))
 		if err != nil {
 			return nil, err
 		}
 		values = append(values, lwb.Seconds())
-		fig.AddPoint(x, values...)
+		fig.AddPoint(p.x, values...)
 	}
 	return fig, nil
 }
@@ -152,6 +165,12 @@ func Fig8(o Options) (*Figure, error) {
 	cfg := o.config()
 	fig := NewFigure("Figure 8", "several slowed-down relations (uniform w_min)",
 		"w_min(us)", "value", "SEQ(s)", "DSE(s)", "gain(%)")
+	sw := o.newSweep()
+	type point struct {
+		us       float64
+		seq, dse seedGroup
+	}
+	var points []point
 	for _, us := range wminPoints() {
 		wait := time.Duration(us * float64(time.Microsecond))
 		// The engine's prior knowledge tracks the actual uniform rate.
@@ -160,19 +179,22 @@ func Fig8(o Options) (*Figure, error) {
 		mk := func(w *workload.Workload) map[string]exec.Delivery {
 			return uniformDeliveries(w, wait)
 		}
-		seq, err := avgResponse(o, c, "SEQ", mk)
-		if err != nil {
-			return nil, err
-		}
-		dse, err := avgResponse(o, c, "DSE", mk)
-		if err != nil {
-			return nil, err
-		}
+		points = append(points, point{
+			us:  us,
+			seq: sw.add(c, "SEQ", mk, nil),
+			dse: sw.add(c, "DSE", mk, nil),
+		})
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		seq, dse := sw.meanResponse(p.seq), sw.meanResponse(p.dse)
 		gain := 0.0
 		if seq > 0 {
 			gain = (seq - dse) / seq * 100
 		}
-		fig.AddPoint(us, seq, dse, gain)
+		fig.AddPoint(p.us, seq, dse, gain)
 	}
 	return fig, nil
 }
@@ -186,7 +208,10 @@ func PositionSweep(o Options, retrievalSeconds float64) (*Figure, error) {
 	fig := NewFigure("Position", fmt.Sprintf("slowed relation position (retrieval=%.1fs)", retrievalSeconds),
 		"relation#", "response time (s)", strategies...)
 	names := []string{"A", "B", "C", "D", "E", "F"}
+	sw := o.newSweep()
+	groups := make([][]seedGroup, len(names))
 	for i, name := range names {
+		name := name
 		card := o.cardOf(name)
 		wSlow := time.Duration(retrievalSeconds / float64(card) * float64(time.Second))
 		mk := func(w *workload.Workload) map[string]exec.Delivery {
@@ -194,13 +219,17 @@ func PositionSweep(o Options, retrievalSeconds float64) (*Figure, error) {
 			d[name] = exec.Delivery{MeanWait: wSlow}
 			return d
 		}
-		values := make([]float64, 0, len(strategies))
 		for _, s := range strategies {
-			v, err := avgResponse(o, cfg, s, mk)
-			if err != nil {
-				return nil, err
-			}
-			values = append(values, v)
+			groups[i] = append(groups[i], sw.add(cfg, s, mk, nil))
+		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
+	}
+	for i := range names {
+		values := make([]float64, 0, len(strategies))
+		for _, g := range groups[i] {
+			values = append(values, sw.meanResponse(g))
 		}
 		fig.AddPoint(float64(i), values...)
 	}

@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dqs/internal/core"
@@ -17,6 +19,14 @@ type Options struct {
 	Small bool
 	// Config overrides the default execution configuration when non-nil.
 	Config *exec.Config
+	// Parallel bounds the worker pool executing experiment cells; 0 (the
+	// default) means GOMAXPROCS. Parallelism changes wall-clock time only:
+	// cells are independent deterministic simulations assembled in a fixed
+	// order, so figure output is byte-identical at any setting.
+	Parallel int
+	// Stats, when non-nil, accumulates per-cell profiling counters across
+	// every sweep run with these options.
+	Stats *RunStats
 }
 
 // DefaultOptions mirrors the paper's methodology: three repetitions at full
@@ -42,33 +52,77 @@ func (o Options) config() exec.Config {
 // ExecConfig returns the execution configuration the experiments will use.
 func (o Options) ExecConfig() exec.Config { return o.config() }
 
+// workloadKey identifies one cached dataset build.
+type workloadKey struct {
+	kind  string // workload family: "fig5" or "star"
+	seed  int64
+	small bool
+}
+
+// workloadEntry is one singleflight slot of the workload cache: the entry
+// is published under the mutex before the dataset exists, and the once
+// makes the first claimant build it while concurrent claimants block on
+// the same slot — each (kind, seed, scale) is generated exactly once no
+// matter how many cells race for it.
+type workloadEntry struct {
+	once sync.Once
+	w    *workload.Workload
+	err  error
+}
+
 // workloadCache memoizes generated datasets: experiments sweep many
 // configurations over the same few seeds, and generation dominates setup.
-var workloadCache = map[[2]int64]*workload.Workload{}
+// Cached workloads are safe to share across concurrent cells: datasets and
+// plans are read-only during execution (all mutable run state lives in the
+// per-run Mediator/Runtime).
+var (
+	workloadMu    sync.Mutex
+	workloadCache = map[workloadKey]*workloadEntry{}
+	// workloadBuilds counts actual dataset generations; tests assert the
+	// exactly-once guarantee under contention.
+	workloadBuilds atomic.Int64
+)
+
+// loadCachedWorkload returns the cached workload for key, building it via
+// build on first use.
+func loadCachedWorkload(key workloadKey, build func() (*workload.Workload, error)) (*workload.Workload, error) {
+	workloadMu.Lock()
+	e, ok := workloadCache[key]
+	if !ok {
+		e = &workloadEntry{}
+		workloadCache[key] = e
+	}
+	workloadMu.Unlock()
+	e.once.Do(func() {
+		workloadBuilds.Add(1)
+		e.w, e.err = build()
+	})
+	return e.w, e.err
+}
 
 // loadWorkload builds (or reuses) the Figure-5 workload at the requested
-// scale. Cached workloads are safe to share: datasets and plans are
-// read-only during execution.
+// scale.
 func (o Options) loadWorkload(seed int64) (*workload.Workload, error) {
-	key := [2]int64{seed, 0}
-	if o.Small {
-		key[1] = 1
-	}
-	if w, ok := workloadCache[key]; ok {
-		return w, nil
-	}
-	var w *workload.Workload
-	var err error
-	if o.Small {
-		w, err = workload.Fig5Small(seed)
-	} else {
-		w, err = workload.Fig5(seed)
-	}
-	if err != nil {
-		return nil, err
-	}
-	workloadCache[key] = w
-	return w, nil
+	return loadCachedWorkload(workloadKey{kind: "fig5", seed: seed, small: o.Small},
+		func() (*workload.Workload, error) {
+			if o.Small {
+				return workload.Fig5Small(seed)
+			}
+			return workload.Fig5(seed)
+		})
+}
+
+// loadStar builds (or reuses) the star-schema workload at the requested
+// scale.
+func (o Options) loadStar(seed int64) (*workload.Workload, error) {
+	return loadCachedWorkload(workloadKey{kind: "star", seed: seed, small: o.Small},
+		func() (*workload.Workload, error) {
+			spec := workload.DefaultStarSpec()
+			if o.Small {
+				spec = workload.SmallStarSpec()
+			}
+			return workload.Star(seed, spec)
+		})
 }
 
 // cardOf returns the cardinality of one Figure-5 relation at the options'
@@ -125,22 +179,3 @@ func uniformDeliveries(w *workload.Workload, wait time.Duration) map[string]exec
 	return out
 }
 
-// avgResponse averages the response time of a strategy across the option
-// seeds; the seed varies both the dataset and the delay draws.
-func avgResponse(o Options, cfg exec.Config, strategy string, mkDeliveries func(w *workload.Workload) map[string]exec.Delivery) (float64, error) {
-	var total float64
-	for _, seed := range o.seeds() {
-		w, err := o.loadWorkload(seed)
-		if err != nil {
-			return 0, err
-		}
-		c := cfg
-		c.Seed = seed
-		res, err := runStrategy(w, c, mkDeliveries(w), strategy)
-		if err != nil {
-			return 0, err
-		}
-		total += res.ResponseTime.Seconds()
-	}
-	return total / float64(len(o.seeds())), nil
-}

@@ -24,6 +24,13 @@ func StarSweep(o Options) (*Figure, error) {
 	fig := NewFigure("Star", fmt.Sprintf("star schema: %d slow dimensions, fast fact", spec.Dimensions),
 		"dim-wait(us)", "response time (s)",
 		append(append([]string{}, strategies...), "LWB")...)
+	sw := o.newSweep()
+	type point struct {
+		us     float64
+		mk     deliveriesFn
+		groups []seedGroup
+	}
+	var points []point
 	for _, us := range []float64{20, 50, 100, 200, 400, 800} {
 		wait := time.Duration(us * float64(time.Microsecond))
 		mkFor := func(w *workload.Workload) map[string]exec.Delivery {
@@ -33,34 +40,30 @@ func StarSweep(o Options) (*Figure, error) {
 			}
 			return d
 		}
-		values := make([]float64, 0, len(strategies)+1)
+		p := point{us: us, mk: mkFor}
 		for _, s := range strategies {
-			var total float64
-			for _, seed := range o.seeds() {
-				w, err := workload.Star(seed, spec)
-				if err != nil {
-					return nil, err
-				}
-				c := cfg
-				c.Seed = seed
-				res, err := runStrategy(w, c, mkFor(w), s)
-				if err != nil {
-					return nil, fmt.Errorf("star %s at %vus: %w", s, us, err)
-				}
-				total += res.ResponseTime.Seconds()
-			}
-			values = append(values, total/float64(len(o.seeds())))
+			p.groups = append(p.groups, sw.add(cfg, s, mkFor, o.loadStar))
 		}
-		w, err := workload.Star(o.seeds()[0], spec)
+		points = append(points, p)
+	}
+	if err := sw.run(); err != nil {
+		return nil, fmt.Errorf("star: %w", err)
+	}
+	for _, p := range points {
+		values := make([]float64, 0, len(strategies)+1)
+		for _, g := range p.groups {
+			values = append(values, sw.meanResponse(g))
+		}
+		w, err := o.loadStar(o.seeds()[0])
 		if err != nil {
 			return nil, err
 		}
-		lwb, err := lowerBound(w, cfg, mkFor(w))
+		lwb, err := lowerBound(w, cfg, p.mk(w))
 		if err != nil {
 			return nil, err
 		}
 		values = append(values, lwb.Seconds())
-		fig.AddPoint(us, values...)
+		fig.AddPoint(p.us, values...)
 	}
 	return fig, nil
 }
