@@ -1,10 +1,11 @@
 # Developer and CI entry points. `make check` is the gate every change
-# must pass: static analysis plus the full test suite under the race
-# detector, so the parallel experiment harness stays race-clean.
+# must pass: static analysis, the full test suite under the race
+# detector, and a one-iteration benchmark smoke run so the benchmarks
+# themselves cannot rot.
 
 GO ?= go
 
-.PHONY: build vet test race check bench
+.PHONY: build vet test race check bench bench-update benchsmoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +22,25 @@ PKG ?= ./...
 race:
 	$(GO) test -race $(PKG)
 
-check: build vet race
+check: build vet race benchsmoke
 
+# Run every benchmark once, as a test: catches benchmarks that panic or
+# no longer compile without paying for real measurement iterations.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Full benchmark run, compared against the committed baseline
+# BENCH_1.json via cmd/benchjson: fails if any benchmark regressed more
+# than 20% in ns/op or allocs/op. The raw output is staged in a file so
+# a failing `go test` aborts the target instead of feeding benchjson an
+# empty stream.
+BENCHFLAGS ?= -benchtime 1s
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > bench.out
+	$(GO) run ./cmd/benchjson -path BENCH_1.json < bench.out
+
+# Refresh the baseline after a deliberate performance change; commit the
+# updated BENCH_1.json together with the change that justifies it.
+bench-update:
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > bench.out
+	$(GO) run ./cmd/benchjson -path BENCH_1.json -write < bench.out

@@ -1,0 +1,188 @@
+// Command benchjson turns `go test -bench -benchmem` output into the
+// repo's tracked benchmark baseline (BENCH_<n>.json) and guards against
+// performance regressions.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -path BENCH_1.json
+//
+// When the baseline file does not exist it is created from the piped
+// results. When it exists, the new results are compared against it and the
+// command fails if any benchmark regressed by more than -threshold (default
+// 20%) in ns/op or allocs/op. Pass -write to overwrite the baseline with
+// the new results instead (after a deliberate perf change, commit the
+// updated file together with the change that justifies it).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's tracked numbers. Metrics carries custom
+// b.ReportMetric values (gain%, virtual-s/run, ...), which are informational
+// and not regression-checked.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_<n>.json schema.
+type File struct {
+	Format     string      `json:"format"`
+	Note       string      `json:"note"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+const format = "dqs-bench-v1"
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse extracts benchmark result lines from `go test -bench` output. The
+// GOMAXPROCS suffix is stripped from names so baselines written on machines
+// with different core counts stay comparable.
+func parse(lines []string) []Benchmark {
+	var out []Benchmark
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name: gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
+		}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp, ok = v, true
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// regressed reports whether new exceeds old by more than threshold, with a
+// small absolute slack so near-zero counts (e.g. 0 allocs/op) don't trip on
+// noise of a couple of units.
+func regressed(old, new, threshold, slack float64) bool {
+	return new > old*(1+threshold)+slack
+}
+
+func run() error {
+	var (
+		path      = flag.String("path", "BENCH_1.json", "baseline file: created when missing, compared against when present")
+		write     = flag.Bool("write", false, "overwrite the baseline with the new results")
+		threshold = flag.Float64("threshold", 0.20, "relative regression bound for ns/op and allocs/op")
+		note      = flag.String("note", "tracked benchmark baseline; regenerate with `make bench-update`", "note stored in the baseline file")
+	)
+	flag.Parse()
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	results := parse(lines)
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results found on stdin (pipe `go test -bench . -benchmem` output in)")
+	}
+
+	baseline, err := os.ReadFile(*path)
+	if os.IsNotExist(err) || *write {
+		out := File{Format: format, Note: *note, Benchmarks: results}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(results), *path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+
+	var base File
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return fmt.Errorf("%s: %w", *path, err)
+	}
+	old := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b
+	}
+	var regressions []string
+	for _, b := range results {
+		o, ok := old[b.Name]
+		if !ok {
+			fmt.Printf("benchjson: %-28s NEW        %12.0f ns/op %10.0f allocs/op\n", b.Name, b.NsPerOp, b.AllocsPerOp)
+			continue
+		}
+		status := "ok"
+		if regressed(o.NsPerOp, b.NsPerOp, *threshold, 0) {
+			status = "REGRESSED ns/op"
+		}
+		if regressed(o.AllocsPerOp, b.AllocsPerOp, *threshold, 2) {
+			status += " REGRESSED allocs/op"
+			status = strings.TrimPrefix(status, "ok ")
+		}
+		fmt.Printf("benchjson: %-28s %-9s ns/op %12.0f -> %-12.0f allocs/op %10.0f -> %-10.0f\n",
+			b.Name, status, o.NsPerOp, b.NsPerOp, o.AllocsPerOp, b.AllocsPerOp)
+		if strings.Contains(status, "REGRESSED") {
+			regressions = append(regressions, b.Name)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed >%.0f%% vs %s: %s (if intentional, refresh with `make bench-update`)",
+			len(regressions), *threshold*100, *path, strings.Join(regressions, ", "))
+	}
+	fmt.Printf("benchjson: %d benchmarks within %.0f%% of %s\n", len(results), *threshold*100, *path)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	dqsbench [-exp all|table1|fig5|fig6|fig7|fig8|position|ablations] \
-//	         [-reps N] [-parallel N] [-small] [-csv] [-chart]
+//	         [-reps N] [-parallel N] [-small] [-csv] [-chart] \
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Output is the same rows/series the paper plots; -csv additionally emits
 // machine-readable data, and -chart draws crude ASCII charts of the shapes.
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dqs/internal/experiment"
@@ -28,18 +30,55 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, fig8, position, delays, multiquery, star, ablations, ablation-bmt, ablation-batch, ablation-queue, ablation-message, ablation-skew, ablation-memory")
-		reps     = flag.Int("reps", 3, "measurement repetitions (paper: 3)")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulator runs; figure output is identical at any setting")
-		small    = flag.Bool("small", false, "run at 1/10 scale (fast)")
-		csv      = flag.Bool("csv", false, "also print CSV data")
-		chart    = flag.Bool("chart", false, "also draw ASCII charts")
+		exp        = flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, fig8, position, delays, multiquery, star, ablations, ablation-bmt, ablation-batch, ablation-queue, ablation-message, ablation-skew, ablation-memory")
+		reps       = flag.Int("reps", 3, "measurement repetitions (paper: 3)")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulator runs; figure output is identical at any setting")
+		small      = flag.Bool("small", false, "run at 1/10 scale (fast)")
+		csv        = flag.Bool("csv", false, "also print CSV data")
+		chart      = flag.Bool("chart", false, "also draw ASCII charts")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the sweep to this file")
 	)
 	flag.Parse()
-	if err := run(*exp, *reps, *parallel, *small, *csv, *chart); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dqsbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dqsbench: start cpu profile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	err := run(*exp, *reps, *parallel, *small, *csv, *chart)
+	if err == nil && *memprofile != "" {
+		err = writeMemProfile(*memprofile)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dqsbench:", err)
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
+}
+
+// writeMemProfile dumps the allocation profile (every allocation since
+// start, not just live objects) so allocation regressions in the execution
+// core show up even though the sweeps release everything they build.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // flush the final allocation stats
+	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
 func run(exp string, reps, parallel int, small, csv, chart bool) error {

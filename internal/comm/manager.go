@@ -10,8 +10,17 @@ import (
 // per-wrapper queues, keeps the delivery-rate estimates current, and detects
 // significant rate changes relative to the estimates the scheduler planned
 // with.
+//
+// The CM sits on the engine's per-batch hot loop (Observe + RateChanged run
+// once per scheduling iteration), so it keeps the registered queues in a
+// name-sorted slice — no map iteration, no per-call sorting — and memoizes
+// the change-detection verdict: estimates only move when an estimator
+// absorbs a new arrival, so RateChanged recomputes only when Observe fed
+// one (or the planned baseline was re-snapshotted).
 type Manager struct {
-	queues map[string]*Queue
+	queues  map[string]*Queue
+	ordered []*Queue // name-sorted, the CM's deterministic scan order
+	names   []string // name-sorted, parallel to ordered
 
 	// planned holds, per wrapper, the waiting-time estimate in force when
 	// the current scheduling plan was computed; used for RateChange
@@ -25,6 +34,15 @@ type Manager struct {
 	// MinObservations gates change detection until the estimator has seen
 	// enough arrivals to be trusted.
 	MinObservations int64
+
+	// RateChanged memo: valid while no estimator has absorbed new arrivals
+	// (estGen unchanged) and the detection parameters are unchanged.
+	estGen     int64
+	memoValid  bool
+	memoGen    int64
+	memoRate   string
+	memoFactor float64
+	memoMinObs int64
 }
 
 // NewManager returns a CM with no queues yet.
@@ -37,13 +55,22 @@ func NewManager() *Manager {
 	}
 }
 
-// Register creates (and returns) the queue for the named wrapper.
+// Register creates (and returns) the queue for the named wrapper, keeping
+// the sorted scan order current.
 func (m *Manager) Register(name string, capacity int) *Queue {
 	if _, dup := m.queues[name]; dup {
 		panic(fmt.Sprintf("comm: wrapper %q registered twice", name))
 	}
 	q := NewQueue(name, capacity)
 	m.queues[name] = q
+	i := sort.SearchStrings(m.names, name)
+	m.names = append(m.names, "")
+	copy(m.names[i+1:], m.names[i:])
+	m.names[i] = name
+	m.ordered = append(m.ordered, nil)
+	copy(m.ordered[i+1:], m.ordered[i:])
+	m.ordered[i] = q
+	m.memoValid = false
 	return q
 }
 
@@ -53,21 +80,17 @@ func (m *Manager) Queue(name string) (*Queue, bool) {
 	return q, ok
 }
 
-// Names returns the registered wrapper names in sorted order.
-func (m *Manager) Names() []string {
-	names := make([]string, 0, len(m.queues))
-	for n := range m.queues {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
+// Names returns the registered wrapper names in sorted order. The returned
+// slice is shared; callers must not mutate it.
+func (m *Manager) Names() []string { return m.names }
 
 // Observe refreshes every rate estimator with the arrivals visible at time
 // now.
 func (m *Manager) Observe(now time.Duration) {
-	for _, q := range m.queues {
-		q.ObserveArrivals(now)
+	for _, q := range m.ordered {
+		if q.ObserveArrivals(now) > 0 {
+			m.estGen++
+		}
 	}
 }
 
@@ -88,27 +111,36 @@ func (m *Manager) Wait(name string, fallback time.Duration) time.Duration {
 // SnapshotPlanned records the estimates the scheduler is about to plan
 // with; subsequent RateChanged calls compare against this baseline.
 func (m *Manager) SnapshotPlanned(fallback func(name string) time.Duration) {
-	for name := range m.queues {
+	for _, name := range m.names {
 		m.planned[name] = m.Wait(name, fallback(name))
 	}
+	m.memoValid = false
 }
 
-// RateChanged reports the first wrapper whose current estimate deviates
-// from the planned baseline by more than ChangeFactor, or "" if none does.
+// RateChanged reports the first wrapper (in name order) whose current
+// estimate deviates from the planned baseline by more than ChangeFactor, or
+// "" if none does.
 func (m *Manager) RateChanged() string {
-	for _, name := range m.Names() {
-		q := m.queues[name]
+	if m.memoValid && m.memoGen == m.estGen &&
+		m.memoFactor == m.ChangeFactor && m.memoMinObs == m.MinObservations {
+		return m.memoRate
+	}
+	rate := ""
+	for i, q := range m.ordered {
 		cur, ok := q.EstimatedWait()
 		if !ok || q.est.Observations() < m.MinObservations {
 			continue
 		}
-		base, planned := m.planned[name]
+		base, planned := m.planned[m.names[i]]
 		if !planned {
 			continue
 		}
 		if SignificantChange(base, cur, m.ChangeFactor) {
-			return name
+			rate = m.names[i]
+			break
 		}
 	}
-	return ""
+	m.memoValid, m.memoGen, m.memoRate = true, m.estGen, rate
+	m.memoFactor, m.memoMinObs = m.ChangeFactor, m.MinObservations
+	return rate
 }

@@ -37,6 +37,15 @@ type Queue struct {
 	head     int
 	size     int
 
+	// arrived caches the number of leading buffered tuples whose arrival is
+	// <= arrivedAt, so the hot Available path is O(1) amortized: the engine
+	// calls it with a monotonically advancing clock, and the cache only has
+	// to absorb each arrival once. The exact invariant — every buffered
+	// tuple beyond index arrived has arrival > arrivedAt — is maintained by
+	// Push, Pop and Available together.
+	arrived   int
+	arrivedAt time.Duration
+
 	producer Producer
 	est      *RateEstimator
 	observed int // ring-relative count of arrivals already fed to est
@@ -74,6 +83,17 @@ func (q *Queue) Len() int { return q.size }
 // Full reports whether the window is exhausted.
 func (q *Queue) Full() bool { return q.size == q.capacity }
 
+// at returns the i-th buffered tuple counting from the head. The capacity
+// is not a power of two, so the ring index wraps with a branch instead of a
+// modulo: head and i are both < capacity, bounding head+i below 2*capacity.
+func (q *Queue) at(i int) *queued {
+	idx := q.head + i
+	if idx >= q.capacity {
+		idx -= q.capacity
+	}
+	return &q.items[idx]
+}
+
 // Push appends a tuple with its arrival time. It panics if the queue is
 // full or arrivals go backwards: both indicate a wrapper simulation bug.
 func (q *Queue) Push(t relation.Tuple, arrival time.Duration) {
@@ -81,24 +101,44 @@ func (q *Queue) Push(t relation.Tuple, arrival time.Duration) {
 		panic(fmt.Sprintf("comm: queue %q: push on full queue", q.name))
 	}
 	if q.size > 0 {
-		if last := q.items[(q.head+q.size-1)%q.capacity].arrival; arrival < last {
+		if last := q.at(q.size - 1).arrival; arrival < last {
 			panic(fmt.Sprintf("comm: queue %q: arrival went backwards: %v < %v", q.name, arrival, last))
 		}
 	}
-	q.items[(q.head+q.size)%q.capacity] = queued{tuple: t, arrival: arrival}
+	*q.at(q.size) = queued{tuple: t, arrival: arrival}
 	q.size++
+	// Keep the arrived-prefix invariant: when every older tuple had already
+	// arrived by arrivedAt and the new one has too, count it immediately —
+	// otherwise a later Available(now < arrivedAt) would miss it.
+	if q.arrived == q.size-1 && arrival <= q.arrivedAt {
+		q.arrived++
+	}
 }
 
-// Available returns how many buffered tuples have arrived by time now.
+// Available returns how many buffered tuples have arrived by time now. For
+// the engine's monotonically advancing clock it is O(1) amortized: the
+// cached arrived count only moves forward as new arrivals cross now. A
+// query about an instant before the cache's high-water mark binary-searches
+// the arrived prefix (arrivals are monotonic), so it stays exact without
+// disturbing the cache.
 func (q *Queue) Available(now time.Duration) int {
-	n := 0
-	for i := 0; i < q.size; i++ {
-		if q.items[(q.head+i)%q.capacity].arrival > now {
-			break
+	if now < q.arrivedAt {
+		lo, hi := 0, q.arrived
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if q.at(mid).arrival <= now {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
 		}
-		n++
+		return lo
 	}
-	return n
+	q.arrivedAt = now
+	for q.arrived < q.size && q.at(q.arrived).arrival <= now {
+		q.arrived++
+	}
+	return q.arrived
 }
 
 // NextArrival returns the arrival time of the oldest buffered tuple, or
@@ -122,8 +162,14 @@ func (q *Queue) Pop(now time.Duration) relation.Tuple {
 		panic(fmt.Sprintf("comm: queue %q: pop of future tuple (arrival %v > now %v)", q.name, it.arrival, now))
 	}
 	q.items[q.head] = queued{}
-	q.head = (q.head + 1) % q.capacity
+	q.head++
+	if q.head == q.capacity {
+		q.head = 0
+	}
 	q.size--
+	if q.arrived > 0 {
+		q.arrived--
+	}
 	if q.observed > 0 {
 		q.observed--
 	}
@@ -136,18 +182,21 @@ func (q *Queue) Pop(now time.Duration) relation.Tuple {
 }
 
 // ObserveArrivals feeds the rate estimator every buffered arrival that has
-// happened by now and was not fed before. The communication manager calls
-// this as the engine's clock advances, so estimation is causal: the CM never
-// peeks at future arrivals.
-func (q *Queue) ObserveArrivals(now time.Duration) {
+// happened by now and was not fed before, returning how many were fed. The
+// communication manager calls this as the engine's clock advances, so
+// estimation is causal: the CM never peeks at future arrivals.
+func (q *Queue) ObserveArrivals(now time.Duration) int {
+	fed := 0
 	for q.observed < q.size {
-		it := q.items[(q.head+q.observed)%q.capacity]
+		it := q.at(q.observed)
 		if it.arrival > now {
-			return
+			break
 		}
 		q.est.Observe(it.arrival)
 		q.observed++
+		fed++
 	}
+	return fed
 }
 
 // EstimatedWait returns the current estimate of the mean inter-arrival time

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -103,6 +104,86 @@ func TestQueueRingWraparound(t *testing.T) {
 	}
 	if q.TotalPopped() != 30 {
 		t.Errorf("TotalPopped = %d", q.TotalPopped())
+	}
+}
+
+// queueModel is a brute-force reference for Push/Pop/Available: a plain
+// slice scanned end to end on every query, with none of the ring buffer's
+// wraparound arithmetic or the arrived-count cache.
+type queueModel struct {
+	tuples   []relation.Tuple
+	arrivals []time.Duration
+}
+
+func (m *queueModel) push(t relation.Tuple, at time.Duration) {
+	m.tuples = append(m.tuples, t)
+	m.arrivals = append(m.arrivals, at)
+}
+
+func (m *queueModel) pop() relation.Tuple {
+	t := m.tuples[0]
+	m.tuples = m.tuples[1:]
+	m.arrivals = m.arrivals[1:]
+	return t
+}
+
+func (m *queueModel) available(now time.Duration) int {
+	n := 0
+	for _, at := range m.arrivals {
+		if at > now {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// TestQueueAgreesWithBruteForceModel drives the queue and the model through
+// randomized interleavings of Push, Pop and Available — including Available
+// queries at instants both ahead of and behind the cache's high-water mark —
+// and requires them to agree at every step. This pins the O(1) arrived-count
+// cache and the branch-based wraparound against the obviously correct O(n)
+// rescan they replaced.
+func TestQueueAgreesWithBruteForceModel(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		capacity := 1 + rng.Intn(9) // deliberately not a power of two
+		q := NewQueue("w", capacity)
+		m := &queueModel{}
+		var lastArrival time.Duration
+		var seq int64
+		for step := 0; step < 2000; step++ {
+			switch op := rng.Intn(4); {
+			case op == 0 && q.Len() < capacity: // push
+				lastArrival += time.Duration(rng.Intn(5)) * time.Millisecond
+				seq++
+				q.Push(relation.Tuple{seq}, lastArrival)
+				m.push(relation.Tuple{seq}, lastArrival)
+			case op == 1: // pop everything arrived at a random instant
+				now := lastArrival - time.Duration(rng.Intn(8))*time.Millisecond
+				if now < 0 {
+					now = 0
+				}
+				for q.Available(now) > 0 {
+					got, want := q.Pop(now), m.pop()
+					if got[0] != want[0] {
+						t.Fatalf("trial %d step %d: pop = %v, want %v", trial, step, got, want)
+					}
+				}
+			default: // compare availability at a random instant, often in the past
+				now := lastArrival - time.Duration(rng.Intn(12))*time.Millisecond
+				if now < 0 {
+					now = 0
+				}
+				if got, want := q.Available(now), m.available(now); got != want {
+					t.Fatalf("trial %d step %d: Available(%v) = %d, want %d (len=%d cap=%d)",
+						trial, step, now, got, want, q.Len(), capacity)
+				}
+			}
+			if q.Len() != len(m.tuples) {
+				t.Fatalf("trial %d step %d: Len = %d, want %d", trial, step, q.Len(), len(m.tuples))
+			}
+		}
 	}
 }
 

@@ -56,7 +56,9 @@ func (e *Engine) processPhase(sp []*exec.Fragment) event {
 		}
 		med.CM.Observe(now)
 		if w := med.CM.RateChanged(); w != "" {
-			med.Trace.Add(now, sim.EvRateChange, "delivery rate of %s changed", w)
+			if med.Trace.Enabled() {
+				med.Trace.Add(now, sim.EvRateChange, "delivery rate of %s changed", w)
+			}
 			return event{kind: evRateChange, wrapper: w}
 		}
 		acted := false
@@ -109,11 +111,15 @@ func (e *Engine) processPhase(sp []*exec.Fragment) event {
 			return event{kind: evSPDone}
 		}
 		if next-now > med.Cfg.Timeout {
-			med.Trace.Add(now, sim.EvTimeout, "all scheduled fragments starved (next arrival %.3fs away)",
-				(next - now).Seconds())
+			if med.Trace.Enabled() {
+				med.Trace.Add(now, sim.EvTimeout, "all scheduled fragments starved (next arrival %.3fs away)",
+					(next - now).Seconds())
+			}
 			return event{kind: evTimeout}
 		}
-		med.Trace.Add(now, sim.EvStall, "stall %.6fs", (next - now).Seconds())
+		if med.Trace.Enabled() {
+			med.Trace.Add(now, sim.EvStall, "stall %.6fs", (next - now).Seconds())
+		}
 		med.Clock.Stall(next)
 	}
 }

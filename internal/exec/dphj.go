@@ -101,6 +101,13 @@ type symJoin struct {
 
 	parent    *symJoin
 	fromBuild bool // whether this join's output feeds the parent's Build side
+
+	// Per-join match scratch, reused across arrivals. Safe because arrive
+	// recurses strictly upward through distinct joins (the plan is a tree),
+	// so a join's scratch is never re-entered while in use, and the parent's
+	// table inserts copy the tuple values out.
+	arena    relation.Arena
+	matchBuf []relation.Tuple
 }
 
 // symLeaf maps a wrapper to its entry point in the network.
@@ -181,23 +188,33 @@ func (net *symNet) arrive(sj *symJoin, fromBuild bool, t relation.Tuple) bool {
 		return false
 	}
 	rt.Costs.ChargeMove()
-	var matches []relation.Tuple
+	sj.arena.Reset()
+	matches := sj.matchBuf[:0]
 	if fromBuild {
 		sj.buildTable.Insert(t)
 		rt.Costs.ChargeProbe()
-		for _, m := range sj.probeTable.Probe(t[sj.buildIdx]) {
+		for it := sj.probeTable.Probe(t[sj.buildIdx]); ; {
+			m := it.Next()
+			if m == nil {
+				break
+			}
 			rt.Costs.ChargeResult()
 			// Result schema is probe ++ build, matching the plan schema.
-			matches = append(matches, relation.Concat(m, t))
+			matches = append(matches, sj.arena.Concat(m, t))
 		}
 	} else {
 		sj.probeTable.Insert(t)
 		rt.Costs.ChargeProbe()
-		for _, m := range sj.buildTable.Probe(t[sj.probeIdx]) {
+		for it := sj.buildTable.Probe(t[sj.probeIdx]); ; {
+			m := it.Next()
+			if m == nil {
+				break
+			}
 			rt.Costs.ChargeResult()
-			matches = append(matches, relation.Concat(t, m))
+			matches = append(matches, sj.arena.Concat(t, m))
 		}
 	}
+	sj.matchBuf = matches
 	for _, out := range matches {
 		if sj.parent == nil {
 			rt.emitOutput()

@@ -64,8 +64,16 @@ type Fragment struct {
 	hasPred  bool
 	steps    []stepExec
 
+	// Per-batch scratch storage, reused across input tuples: curBuf/nextBuf
+	// hold the intermediate tuple headers of the probe cascade, arena backs
+	// the concatenated tuple values. Both sinks (hash-table insert, temp
+	// append) copy, so recycling the scratch between input tuples is safe.
+	curBuf, nextBuf []relation.Tuple
+	arena           relation.Arena
+
 	// pending holds terminal-ready tuples that could not be sunk because
-	// the memory grant was exhausted; they are retried on resume.
+	// the memory grant was exhausted; they are retried on resume. Pending
+	// tuples are deep-copied out of the scratch arena.
 	pending   []relation.Tuple
 	processed int64
 	done      bool
@@ -252,7 +260,10 @@ func (f *Fragment) sink(out relation.Tuple) bool {
 }
 
 // applyTuple pushes one input tuple through the fragment's probe steps and
-// returns the terminal-ready results. Cost charging happens inline.
+// returns the terminal-ready results. Cost charging happens inline. The
+// returned slice and its tuples live in the fragment's scratch buffers and
+// are recycled by the next applyTuple call: sink every result (or copy it
+// out) before processing another input.
 func (f *Fragment) applyTuple(t relation.Tuple) []relation.Tuple {
 	if f.QueueInput {
 		f.rt.Costs.ChargeReceive()
@@ -261,25 +272,31 @@ func (f *Fragment) applyTuple(t relation.Tuple) []relation.Tuple {
 	if f.hasPred && t[f.predIdx] >= f.predLess {
 		return nil
 	}
-	cur := []relation.Tuple{t}
+	f.arena.Reset()
+	cur, next := append(f.curBuf[:0], t), f.nextBuf[:0]
 	for _, s := range f.steps {
 		ts := f.rt.table(s.join)
 		if !ts.complete {
 			panic(fmt.Sprintf("exec: %s probes incomplete table of J%d", f.Label, s.join.ID))
 		}
-		var next []relation.Tuple
+		next = next[:0]
 		for _, u := range cur {
 			f.rt.Costs.ChargeProbe()
-			for _, m := range ts.ht.Probe(u[s.probeIdx]) {
+			for it := ts.ht.Probe(u[s.probeIdx]); ; {
+				m := it.Next()
+				if m == nil {
+					break
+				}
 				f.rt.Costs.ChargeResult()
-				next = append(next, relation.Concat(u, m))
+				next = append(next, f.arena.Concat(u, m))
 			}
 		}
-		cur = next
+		cur, next = next, cur
 		if len(cur) == 0 {
-			return nil
+			break
 		}
 	}
+	f.curBuf, f.nextBuf = cur, next
 	return cur
 }
 
@@ -313,7 +330,11 @@ func (f *Fragment) ProcessBatch(max int) (int, bool) {
 		outs := f.applyTuple(t)
 		for i, out := range outs {
 			if !f.sink(out) {
-				f.pending = append(f.pending, outs[i:]...)
+				// Stranded outputs outlive the scratch arena; copy them out.
+				// Overflow is the rare path, so the copies don't matter.
+				for _, o := range outs[i:] {
+					f.pending = append(f.pending, append(relation.Tuple(nil), o...))
+				}
 				return n, true
 			}
 		}

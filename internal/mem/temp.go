@@ -35,6 +35,7 @@ func (s *TempStore) Create(name string, schema *relation.Schema) *Temp {
 		name:   name,
 		object: obj,
 		schema: schema,
+		width:  schema.Width(),
 	}
 }
 
@@ -48,7 +49,9 @@ func (s *TempStore) CreateSync(name string, schema *relation.Schema) *Temp {
 }
 
 // Temp is one temporary relation: tuples plus the virtual times at which
-// each page became durable on disk.
+// each page became durable on disk. Tuple values live in one flat []int64
+// arena (the schema fixes the width), so materializing n tuples costs a few
+// geometric arena growths instead of one allocation per tuple.
 type Temp struct {
 	store  *TempStore
 	name   string
@@ -56,7 +59,9 @@ type Temp struct {
 	schema *relation.Schema
 
 	sync      bool
-	rows      []relation.Tuple
+	width     int     // values per tuple, from the schema
+	data      []int64 // flat tuple arena: row i at [i*width, (i+1)*width)
+	nrows     int
 	pageDone  []time.Duration // write-completion time per full page
 	inPage    int             // tuples buffered in the current page
 	closed    bool
@@ -70,20 +75,32 @@ func (t *Temp) Name() string { return t.name }
 func (t *Temp) Schema() *relation.Schema { return t.schema }
 
 // Len returns the number of appended tuples.
-func (t *Temp) Len() int { return len(t.rows) }
+func (t *Temp) Len() int { return t.nrows }
+
+// row returns tuple i as a slice into the arena. The arena is append-only,
+// so returned tuples stay valid (and stable) for the life of the temp.
+func (t *Temp) row(i int) relation.Tuple {
+	off := i * t.width
+	return relation.Tuple(t.data[off : off+t.width : off+t.width])
+}
 
 // Pages returns the number of pages written so far.
 func (t *Temp) Pages() int { return len(t.pageDone) }
 
-// Append adds one tuple. When a page fills up, its write is issued
-// asynchronously: the caller's CPU is charged the I/O-issue cost, the disk
-// timeline absorbs the transfer, and the completion time is recorded so
-// readers never see a page before it is durable.
+// Append adds one tuple, copying its values into the temp's arena; the
+// caller's backing array may be reused afterwards. When a page fills up, its
+// write is issued asynchronously: the caller's CPU is charged the I/O-issue
+// cost, the disk timeline absorbs the transfer, and the completion time is
+// recorded so readers never see a page before it is durable.
 func (t *Temp) Append(tup relation.Tuple) {
 	if t.closed {
 		panic(fmt.Sprintf("mem: append to closed temp %q", t.name))
 	}
-	t.rows = append(t.rows, tup)
+	if len(tup) != t.width {
+		panic(fmt.Sprintf("mem: width-%d tuple appended to temp %q of width %d", len(tup), t.name, t.width))
+	}
+	t.data = append(t.data, tup...)
+	t.nrows++
 	t.inPage++
 	if t.inPage == t.store.params.TuplesPerPage() {
 		t.flushPage()
@@ -110,7 +127,7 @@ func (t *Temp) Close() {
 		t.flushPage()
 	}
 	t.closed = true
-	t.closedLen = len(t.rows)
+	t.closedLen = t.nrows
 }
 
 // Closed reports whether the writer has finished.
@@ -192,27 +209,31 @@ func (r *Reader) ensureIssued() {
 
 // Available returns how many unread tuples are in memory at time now. In
 // synchronous mode every remaining tuple counts as available: the wait is
-// paid on Pop.
+// paid on Pop. Ready pages are counted page-at-a-time: reads are issued in
+// page order on one disk timeline, so completion times are nondecreasing.
 func (r *Reader) Available(now time.Duration) int {
 	if r.sync {
-		return len(r.temp.rows) - r.pos
+		return r.temp.nrows - r.pos
 	}
 	r.ensureIssued()
-	n := 0
-	for i := r.pos; i < len(r.temp.rows); i++ {
-		k := r.pageOf(i)
-		if k >= r.issued || r.readyAt[k] > now {
-			break
-		}
-		n++
+	last := -1 // last ready page
+	for k := r.pageOf(r.pos); k < r.issued && r.readyAt[k] <= now; k++ {
+		last = k
 	}
-	return n
+	if last < 0 {
+		return 0
+	}
+	end := (last + 1) * r.tuplesPerPage()
+	if end > r.temp.nrows {
+		end = r.temp.nrows
+	}
+	return end - r.pos
 }
 
 // NextArrival returns the time the next unread tuple is in memory, or false
 // if the relation is fully consumed.
 func (r *Reader) NextArrival() (time.Duration, bool) {
-	if r.pos >= len(r.temp.rows) {
+	if r.pos >= r.temp.nrows {
 		return 0, false
 	}
 	if r.sync {
@@ -231,7 +252,7 @@ func (r *Reader) NextArrival() (time.Duration, bool) {
 // (asynchronous mode) or pays the page read while holding the CPU
 // (synchronous mode).
 func (r *Reader) Pop(now time.Duration) relation.Tuple {
-	if r.pos >= len(r.temp.rows) {
+	if r.pos >= r.temp.nrows {
 		panic(fmt.Sprintf("mem: pop past end of temp %q", r.temp.name))
 	}
 	k := r.pageOf(r.pos)
@@ -246,13 +267,13 @@ func (r *Reader) Pop(now time.Duration) relation.Tuple {
 			panic(fmt.Sprintf("mem: pop of future tuple from temp %q (%v > %v)", r.temp.name, r.readyAt[k], now))
 		}
 	}
-	tup := r.temp.rows[r.pos]
+	tup := r.temp.row(r.pos)
 	r.pos++
 	return tup
 }
 
 // Exhausted reports whether every tuple has been consumed.
-func (r *Reader) Exhausted() bool { return r.pos >= len(r.temp.rows) }
+func (r *Reader) Exhausted() bool { return r.pos >= r.temp.nrows }
 
 // Remaining returns the number of unconsumed tuples.
-func (r *Reader) Remaining() int { return len(r.temp.rows) - r.pos }
+func (r *Reader) Remaining() int { return r.temp.nrows - r.pos }

@@ -12,11 +12,28 @@ import (
 	"dqs/internal/sim"
 )
 
-// HashTable is the in-memory build side of a hash join.
+// HashTable is the in-memory build side of a hash join. It is an
+// open-addressing table whose tuples live in a flat per-table arena: entry i
+// occupies arena[i*width : (i+1)*width], and entries with the same key are
+// chained through next[] in insertion order, so probes replay matches exactly
+// as a map[int64][]Tuple of append-order slices would — the property the
+// deterministic golden figures rely on. Steady-state Insert and Probe do not
+// allocate; growth is geometric and amortized.
 type HashTable struct {
-	keyIdx  int
-	buckets map[int64][]relation.Tuple
-	rows    int64
+	keyIdx int
+	width  int     // tuple width, fixed by the first insert (-1 = unset)
+	arena  []int64 // flat tuple storage
+	next   []int32 // same-key chain, insertion order, -1 terminates
+	rows   int64
+
+	// Open-addressing bucket array (linear probing, capacity a power of
+	// two). A bucket holds one distinct key with the head and tail of its
+	// entry chain; bhead[i] < 0 marks an empty slot. Tables never delete
+	// individual keys, so no tombstones are needed.
+	bkeys []int64
+	bhead []int32
+	btail []int32
+	used  int // occupied buckets (distinct keys)
 }
 
 // NewHashTable creates a table keyed on the given column index of inserted
@@ -25,24 +42,138 @@ func NewHashTable(keyIdx int) *HashTable {
 	if keyIdx < 0 {
 		panic(fmt.Sprintf("operator: negative hash key index %d", keyIdx))
 	}
-	return &HashTable{keyIdx: keyIdx, buckets: make(map[int64][]relation.Tuple)}
+	return &HashTable{keyIdx: keyIdx, width: -1}
 }
 
-// Insert adds one build tuple.
+// hashKey mixes a join key into a well-distributed 64-bit hash
+// (splitmix64/murmur3 finalizer).
+func hashKey(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// grow doubles the bucket array and rehashes every distinct key. Entry
+// storage (arena, chains) is untouched: only the (key, head, tail) bucket
+// records move.
+func (h *HashTable) grow() {
+	n := len(h.bkeys) * 2
+	if n == 0 {
+		n = 8
+	}
+	oldKeys, oldHead, oldTail := h.bkeys, h.bhead, h.btail
+	h.bkeys = make([]int64, n)
+	h.bhead = make([]int32, n)
+	h.btail = make([]int32, n)
+	for i := range h.bhead {
+		h.bhead[i] = -1
+	}
+	mask := n - 1
+	for i, head := range oldHead {
+		if head < 0 {
+			continue
+		}
+		j := int(hashKey(oldKeys[i])) & mask
+		for h.bhead[j] >= 0 {
+			j = (j + 1) & mask
+		}
+		h.bkeys[j], h.bhead[j], h.btail[j] = oldKeys[i], head, oldTail[i]
+	}
+}
+
+// Insert adds one build tuple, copying its values into the table's arena;
+// the caller's backing array may be reused afterwards.
 func (h *HashTable) Insert(t relation.Tuple) {
-	k := t[h.keyIdx]
-	h.buckets[k] = append(h.buckets[k], t)
+	if h.width < 0 {
+		h.width = len(t)
+	} else if len(t) != h.width {
+		panic(fmt.Sprintf("operator: tuple width %d inserted into width-%d table", len(t), h.width))
+	}
+	idx := int32(len(h.next))
+	h.arena = append(h.arena, t...)
+	h.next = append(h.next, -1)
 	h.rows++
+
+	if h.used >= len(h.bkeys)-len(h.bkeys)/4 { // load factor 3/4
+		h.grow()
+	}
+	k := t[h.keyIdx]
+	mask := len(h.bkeys) - 1
+	i := int(hashKey(k)) & mask
+	for h.bhead[i] >= 0 && h.bkeys[i] != k {
+		i = (i + 1) & mask
+	}
+	if h.bhead[i] < 0 {
+		h.bkeys[i], h.bhead[i], h.btail[i] = k, idx, idx
+		h.used++
+	} else {
+		h.next[h.btail[i]] = idx
+		h.btail[i] = idx
+	}
 }
 
-// Probe returns the build tuples matching key. The returned slice is shared;
-// callers must not mutate it.
-func (h *HashTable) Probe(key int64) []relation.Tuple {
-	return h.buckets[key]
+// Matches iterates the build tuples of one key in insertion order. The zero
+// value is an empty iteration.
+type Matches struct {
+	h   *HashTable
+	idx int32
+}
+
+// Next returns the next matching tuple, or nil when the matches are
+// exhausted. The returned tuple aliases the table's arena; callers must not
+// mutate it, and it stays valid for the life of the table.
+func (m *Matches) Next() relation.Tuple {
+	if m.idx < 0 {
+		return nil
+	}
+	h := m.h
+	off := int(m.idx) * h.width
+	t := relation.Tuple(h.arena[off : off+h.width : off+h.width])
+	m.idx = h.next[m.idx]
+	return t
+}
+
+// Probe returns an iterator over the build tuples matching key, in insertion
+// order. Probing allocates nothing.
+func (h *HashTable) Probe(key int64) Matches {
+	if h.used == 0 {
+		return Matches{idx: -1}
+	}
+	mask := len(h.bkeys) - 1
+	i := int(hashKey(key)) & mask
+	for {
+		if h.bhead[i] < 0 {
+			return Matches{idx: -1}
+		}
+		if h.bkeys[i] == key {
+			return Matches{h: h, idx: h.bhead[i]}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Reset empties the table while keeping its arena, chain and bucket storage
+// for reuse, so steady-state refills allocate nothing.
+func (h *HashTable) Reset() {
+	h.arena = h.arena[:0]
+	h.next = h.next[:0]
+	h.rows = 0
+	h.width = -1
+	for i := range h.bhead {
+		h.bhead[i] = -1
+	}
+	h.used = 0
 }
 
 // Rows returns the number of inserted tuples.
 func (h *HashTable) Rows() int64 { return h.rows }
+
+// DistinctKeys returns the number of distinct join keys inserted.
+func (h *HashTable) DistinctKeys() int { return h.used }
 
 // MemBytes returns the accounting size of the table: rows times the
 // accounting tuple size.

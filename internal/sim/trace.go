@@ -60,6 +60,11 @@ type Trace struct {
 	Events []Event
 }
 
+// Enabled reports whether the trace records events. Hot paths should guard
+// Add calls carrying formatting arguments behind it: the ...any boxing
+// allocates at the call site even when the receiver is nil.
+func (t *Trace) Enabled() bool { return t != nil }
+
 // Add appends one event. Safe on a nil receiver.
 func (t *Trace) Add(at time.Duration, kind EventKind, format string, args ...any) {
 	if t == nil {
