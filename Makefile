@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-update benchsmoke
+.PHONY: build vet test race check bench bench-update benchsmoke profile
 
 build:
 	$(GO) build ./...
@@ -30,17 +30,29 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Full benchmark run, compared against the committed baseline
-# BENCH_1.json via cmd/benchjson: fails if any benchmark regressed more
-# than 20% in ns/op or allocs/op. The raw output is staged in a file so
-# a failing `go test` aborts the target instead of feeding benchjson an
-# empty stream.
+# (BENCH_2.json, recorded after the batched-dataflow rework; BENCH_1.json
+# is kept as the pre-batching reference) via cmd/benchjson: fails if any
+# benchmark regressed more than 20% in ns/op or allocs/op. The raw output
+# is staged in a file so a failing `go test` aborts the target instead of
+# feeding benchjson an empty stream.
 BENCHFLAGS ?= -benchtime 1s
+BASELINE ?= BENCH_2.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > bench.out
-	$(GO) run ./cmd/benchjson -path BENCH_1.json < bench.out
+	$(GO) run ./cmd/benchjson -path $(BASELINE) < bench.out
 
 # Refresh the baseline after a deliberate performance change; commit the
-# updated BENCH_1.json together with the change that justifies it.
+# updated baseline together with the change that justifies it.
 bench-update:
 	$(GO) test -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > bench.out
-	$(GO) run ./cmd/benchjson -path BENCH_1.json -write < bench.out
+	$(GO) run ./cmd/benchjson -path $(BASELINE) -write < bench.out
+
+# CPU and allocation profiles of the DSE-heavy delay-class sweep, the
+# workload the scheduler benchmarks exercise. Prints the top 15 cumulative
+# entries of each profile so perf work starts from evidence, and leaves
+# cpu.prof / mem.prof behind for interactive `go tool pprof`.
+profile:
+	$(GO) build -o dqsbench.bin ./cmd/dqsbench
+	./dqsbench.bin -exp delays -small -reps 1 -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	$(GO) tool pprof -top -cum -nodecount 15 dqsbench.bin cpu.prof
+	$(GO) tool pprof -top -cum -nodecount 15 dqsbench.bin mem.prof

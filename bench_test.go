@@ -214,7 +214,14 @@ func BenchmarkAblationMemory(b *testing.B) {
 // wrapper.
 func benchStrategy(b *testing.B, s Strategy) {
 	b.Helper()
-	w, err := Fig5Small(1)
+	benchStrategyOn(b, s, Fig5Small)
+}
+
+// benchStrategyOn runs one strategy on the workload built by load with one
+// slowed wrapper and reports simulated virtual time per run.
+func benchStrategyOn(b *testing.B, s Strategy, load func(int64) (*Workload, error)) {
+	b.Helper()
+	w, err := load(1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -242,3 +249,9 @@ func BenchmarkStrategyMA(b *testing.B) { benchStrategy(b, MA) }
 
 // BenchmarkStrategyDSE measures the DSE engine (scheduler included).
 func BenchmarkStrategyDSE(b *testing.B) { benchStrategy(b, DSE) }
+
+// BenchmarkScale10x measures the DSE engine at ten times the cardinality of
+// the other strategy benchmarks — the paper's full-scale Figure 5 workload —
+// so regressions that only surface beyond the small scale's footprint (hash
+// table growth, queue churn, arena reuse) show up in the tracked baseline.
+func BenchmarkScale10x(b *testing.B) { benchStrategyOn(b, DSE, Fig5) }

@@ -152,10 +152,13 @@ func run() error {
 		old[b.Name] = b
 	}
 	var regressions []string
+	seen := make(map[string]bool, len(results))
 	for _, b := range results {
+		seen[b.Name] = true
 		o, ok := old[b.Name]
 		if !ok {
-			fmt.Printf("benchjson: %-28s NEW        %12.0f ns/op %10.0f allocs/op\n", b.Name, b.NsPerOp, b.AllocsPerOp)
+			fmt.Printf("benchjson: %-28s ADDED      %12.0f ns/op %10.0f allocs/op (not in baseline; `make bench-update` to track)\n",
+				b.Name, b.NsPerOp, b.AllocsPerOp)
 			continue
 		}
 		status := "ok"
@@ -171,6 +174,18 @@ func run() error {
 		if strings.Contains(status, "REGRESSED") {
 			regressions = append(regressions, b.Name)
 		}
+	}
+	// Baseline entries absent from this run would otherwise vanish silently —
+	// a renamed or deleted benchmark could mask a regression forever.
+	var removed []string
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			removed = append(removed, b.Name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Printf("benchjson: %-28s REMOVED    (in %s but not in this run; `make bench-update` to drop)\n", name, *path)
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed >%.0f%% vs %s: %s (if intentional, refresh with `make bench-update`)",

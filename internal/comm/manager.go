@@ -58,10 +58,19 @@ func NewManager() *Manager {
 // Register creates (and returns) the queue for the named wrapper, keeping
 // the sorted scan order current.
 func (m *Manager) Register(name string, capacity int) *Queue {
+	q := NewQueue(name, capacity)
+	m.Adopt(q)
+	return q
+}
+
+// Adopt registers a caller-supplied queue — typically one recycled from a
+// run pool and freshly Reset — under its current name, keeping the sorted
+// scan order current.
+func (m *Manager) Adopt(q *Queue) {
+	name := q.Name()
 	if _, dup := m.queues[name]; dup {
 		panic(fmt.Sprintf("comm: wrapper %q registered twice", name))
 	}
-	q := NewQueue(name, capacity)
 	m.queues[name] = q
 	i := sort.SearchStrings(m.names, name)
 	m.names = append(m.names, "")
@@ -71,8 +80,11 @@ func (m *Manager) Register(name string, capacity int) *Queue {
 	copy(m.ordered[i+1:], m.ordered[i:])
 	m.ordered[i] = q
 	m.memoValid = false
-	return q
 }
+
+// Queues returns the registered queues in name-sorted order. The returned
+// slice is shared; callers must not mutate it.
+func (m *Manager) Queues() []*Queue { return m.ordered }
 
 // Queue returns the queue of the named wrapper.
 func (m *Manager) Queue(name string) (*Queue, bool) {

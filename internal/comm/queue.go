@@ -21,21 +21,38 @@ type Producer interface {
 	Resume(now time.Duration)
 }
 
-type queued struct {
-	tuple   relation.Tuple
-	arrival time.Duration
-}
-
 // Queue is the bounded arrival buffer of one wrapper. Tuples carry their
 // virtual arrival timestamps; the consumer only sees tuples whose arrival is
 // not in its future. When the queue is full the wrapper is suspended
 // (window protocol) until the consumer pops.
+//
+// The ring stores tuples and arrivals in separate parallel arrays so bulk
+// transfers (PopN, PushN, ObserveArrivals) move contiguous segments with
+// copy instead of touching one interleaved element at a time.
+//
+// Bulk consumption is split into two halves so that batching cannot perturb
+// the simulation. PopN removes arrived tuples from the ring wholesale but
+// leaves their window slots reserved ("debt"): the producer still sees a
+// full window and stays suspended, exactly as if the tuples were still
+// buffered. Credit then releases one reserved slot at the virtual instant
+// the consumer actually gets to that tuple, resuming the producer with that
+// instant as its send floor — the same floor a per-tuple Pop at that moment
+// would have produced. Refill arrival times, and therefore every downstream
+// rate estimate and scheduling decision, are bit-identical between the two
+// paths.
 type Queue struct {
 	name     string
 	capacity int
-	items    []queued // ring buffer
+	tuples   []relation.Tuple // ring buffer, parallel to arrivals
+	arrivals []time.Duration
 	head     int
 	size     int
+
+	// debt counts tuples handed out by PopN whose window slots have not
+	// been released by Credit yet. Their ring slots — the debt positions
+	// immediately before head — keep their contents so UnpopN can restore
+	// the tail of a batch the consumer could not process.
+	debt int
 
 	// arrived caches the number of leading buffered tuples whose arrival is
 	// <= arrivedAt, so the hot Available path is O(1) amortized: the engine
@@ -50,7 +67,6 @@ type Queue struct {
 	est      *RateEstimator
 	observed int // ring-relative count of arrivals already fed to est
 
-	pops        int64
 	totalPopped int64
 }
 
@@ -62,7 +78,8 @@ func NewQueue(name string, capacity int) *Queue {
 	return &Queue{
 		name:     name,
 		capacity: capacity,
-		items:    make([]queued, capacity),
+		tuples:   make([]relation.Tuple, capacity),
+		arrivals: make([]time.Duration, capacity),
 		est:      NewRateEstimator(defaultEWMAAlpha),
 	}
 }
@@ -80,18 +97,43 @@ func (q *Queue) Capacity() int { return q.capacity }
 // time is still in the consumer's future).
 func (q *Queue) Len() int { return q.size }
 
-// Full reports whether the window is exhausted.
-func (q *Queue) Full() bool { return q.size == q.capacity }
+// Debt returns the number of popped tuples whose window slots are still
+// reserved (PopN'd but not yet Credit'ed).
+func (q *Queue) Debt() int { return q.debt }
 
-// at returns the i-th buffered tuple counting from the head. The capacity
+// Full reports whether the window is exhausted. Debt slots count against
+// the window: a tuple that has been bulk-popped but not yet credited still
+// occupies its slot from the producer's point of view.
+func (q *Queue) Full() bool { return q.size+q.debt == q.capacity }
+
+// Reset returns the queue to its freshly constructed state under a new
+// wrapper name, keeping the ring storage, so pooled runs reuse it without
+// reallocating.
+func (q *Queue) Reset(name string) {
+	for i := range q.tuples {
+		q.tuples[i] = nil
+	}
+	q.name = name
+	q.head = 0
+	q.size = 0
+	q.debt = 0
+	q.arrived = 0
+	q.arrivedAt = 0
+	q.producer = nil
+	q.observed = 0
+	q.totalPopped = 0
+	q.est.Reset()
+}
+
+// idx maps a head-relative offset to a physical ring index. The capacity
 // is not a power of two, so the ring index wraps with a branch instead of a
 // modulo: head and i are both < capacity, bounding head+i below 2*capacity.
-func (q *Queue) at(i int) *queued {
+func (q *Queue) idx(i int) int {
 	idx := q.head + i
 	if idx >= q.capacity {
 		idx -= q.capacity
 	}
-	return &q.items[idx]
+	return idx
 }
 
 // Push appends a tuple with its arrival time. It panics if the queue is
@@ -101,11 +143,13 @@ func (q *Queue) Push(t relation.Tuple, arrival time.Duration) {
 		panic(fmt.Sprintf("comm: queue %q: push on full queue", q.name))
 	}
 	if q.size > 0 {
-		if last := q.at(q.size - 1).arrival; arrival < last {
+		if last := q.arrivals[q.idx(q.size-1)]; arrival < last {
 			panic(fmt.Sprintf("comm: queue %q: arrival went backwards: %v < %v", q.name, arrival, last))
 		}
 	}
-	*q.at(q.size) = queued{tuple: t, arrival: arrival}
+	i := q.idx(q.size)
+	q.tuples[i] = t
+	q.arrivals[i] = arrival
 	q.size++
 	// Keep the arrived-prefix invariant: when every older tuple had already
 	// arrived by arrivedAt and the new one has too, count it immediately —
@@ -113,6 +157,55 @@ func (q *Queue) Push(t relation.Tuple, arrival time.Duration) {
 	if q.arrived == q.size-1 && arrival <= q.arrivedAt {
 		q.arrived++
 	}
+}
+
+// PushN appends a run of tuples with monotonically non-decreasing arrival
+// times, equivalent to calling Push once per element but with the ring and
+// cache bookkeeping done on whole segments.
+func (q *Queue) PushN(tuples []relation.Tuple, arrivals []time.Duration) {
+	n := len(tuples)
+	if n != len(arrivals) {
+		panic(fmt.Sprintf("comm: queue %q: PushN length mismatch: %d tuples, %d arrivals", q.name, n, len(arrivals)))
+	}
+	if n == 0 {
+		return
+	}
+	if q.size+q.debt+n > q.capacity {
+		panic(fmt.Sprintf("comm: queue %q: push on full queue", q.name))
+	}
+	last := arrivals[0]
+	if q.size > 0 {
+		last = q.arrivals[q.idx(q.size-1)]
+	}
+	for _, at := range arrivals {
+		if at < last {
+			panic(fmt.Sprintf("comm: queue %q: arrival went backwards: %v < %v", q.name, at, last))
+		}
+		last = at
+	}
+	// Copy in at most two contiguous segments.
+	start := q.idx(q.size)
+	first := n
+	if start+first > q.capacity {
+		first = q.capacity - start
+	}
+	copy(q.tuples[start:], tuples[:first])
+	copy(q.arrivals[start:], arrivals[:first])
+	if first < n {
+		copy(q.tuples, tuples[first:])
+		copy(q.arrivals, arrivals[first:])
+	}
+	// Advance the arrived-prefix cache over the appended run, same as the
+	// per-element Push rule.
+	if q.arrived == q.size {
+		for _, at := range arrivals {
+			if at > q.arrivedAt {
+				break
+			}
+			q.arrived++
+		}
+	}
+	q.size += n
 }
 
 // Available returns how many buffered tuples have arrived by time now. For
@@ -126,7 +219,7 @@ func (q *Queue) Available(now time.Duration) int {
 		lo, hi := 0, q.arrived
 		for lo < hi {
 			mid := int(uint(lo+hi) >> 1)
-			if q.at(mid).arrival <= now {
+			if q.arrivals[q.idx(mid)] <= now {
 				lo = mid + 1
 			} else {
 				hi = mid
@@ -135,7 +228,7 @@ func (q *Queue) Available(now time.Duration) int {
 		return lo
 	}
 	q.arrivedAt = now
-	for q.arrived < q.size && q.at(q.arrived).arrival <= now {
+	for q.arrived < q.size && q.arrivals[q.idx(q.arrived)] <= now {
 		q.arrived++
 	}
 	return q.arrived
@@ -147,7 +240,7 @@ func (q *Queue) NextArrival() (time.Duration, bool) {
 	if q.size == 0 {
 		return 0, false
 	}
-	return q.items[q.head].arrival, true
+	return q.arrivals[q.head], true
 }
 
 // Pop removes and returns the oldest tuple. It panics if the tuple has not
@@ -157,11 +250,11 @@ func (q *Queue) Pop(now time.Duration) relation.Tuple {
 	if q.size == 0 {
 		panic(fmt.Sprintf("comm: queue %q: pop on empty queue", q.name))
 	}
-	it := q.items[q.head]
-	if it.arrival > now {
-		panic(fmt.Sprintf("comm: queue %q: pop of future tuple (arrival %v > now %v)", q.name, it.arrival, now))
+	if at := q.arrivals[q.head]; at > now {
+		panic(fmt.Sprintf("comm: queue %q: pop of future tuple (arrival %v > now %v)", q.name, at, now))
 	}
-	q.items[q.head] = queued{}
+	t := q.tuples[q.head]
+	q.tuples[q.head] = nil
 	q.head++
 	if q.head == q.capacity {
 		q.head = 0
@@ -173,29 +266,107 @@ func (q *Queue) Pop(now time.Duration) relation.Tuple {
 	if q.observed > 0 {
 		q.observed--
 	}
-	q.pops++
 	q.totalPopped++
 	if q.producer != nil {
 		q.producer.Resume(now)
 	}
-	return it.tuple
+	return t
+}
+
+// PopN bulk-removes up to len(dst) arrived tuples into dst and returns how
+// many it moved. The freed slots stay reserved as debt — the producer is
+// NOT resumed — until the consumer calls Credit once per tuple at the
+// virtual instant it processes it. Ring and cache bookkeeping is done once
+// per call instead of once per tuple.
+func (q *Queue) PopN(now time.Duration, dst []relation.Tuple) int {
+	n := q.Available(now)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n == 0 {
+		return 0
+	}
+	first := n
+	if q.head+first > q.capacity {
+		first = q.capacity - q.head
+	}
+	copy(dst, q.tuples[q.head:q.head+first])
+	if first < n {
+		copy(dst[first:], q.tuples[:n-first])
+	}
+	q.head = q.idx(n)
+	q.size -= n
+	q.debt += n
+	q.arrived -= n // Available above guarantees arrived >= n
+	if q.observed > n {
+		q.observed -= n
+	} else {
+		q.observed = 0
+	}
+	q.totalPopped += int64(n)
+	return n
+}
+
+// Credit releases the oldest debt slot at virtual time now and resumes the
+// producer, exactly as a per-tuple Pop at now would have: the producer sees
+// the slot free itself at the instant the consumer reached the tuple, so
+// refill send floors — and every arrival time derived from them — match the
+// unbatched path bit for bit.
+func (q *Queue) Credit(now time.Duration) {
+	if q.debt == 0 {
+		panic(fmt.Sprintf("comm: queue %q: credit without debt", q.name))
+	}
+	i := q.head - q.debt
+	if i < 0 {
+		i += q.capacity
+	}
+	q.tuples[i] = nil
+	q.debt--
+	if q.producer != nil {
+		q.producer.Resume(now)
+	}
+}
+
+// UnpopN returns the newest n uncredited tuples to the buffer, undoing the
+// tail of a PopN batch the consumer could not process (e.g. a memory
+// overflow mid-batch). Their ring slots were left intact by PopN, so this
+// is pure index arithmetic.
+func (q *Queue) UnpopN(n int) {
+	if n == 0 {
+		return
+	}
+	if n > q.debt {
+		panic(fmt.Sprintf("comm: queue %q: unpop %d exceeds debt %d", q.name, n, q.debt))
+	}
+	q.head -= n
+	if q.head < 0 {
+		q.head += q.capacity
+	}
+	q.size += n
+	q.debt -= n
+	q.arrived += n // popped tuples had arrived; restoring keeps the prefix exact
+	q.totalPopped -= int64(n)
 }
 
 // ObserveArrivals feeds the rate estimator every buffered arrival that has
 // happened by now and was not fed before, returning how many were fed. The
 // communication manager calls this as the engine's clock advances, so
-// estimation is causal: the CM never peeks at future arrivals.
+// estimation is causal: the CM never peeks at future arrivals. The unseen
+// arrived prefix is handed to the estimator as whole ring segments.
 func (q *Queue) ObserveArrivals(now time.Duration) int {
-	fed := 0
-	for q.observed < q.size {
-		it := q.at(q.observed)
-		if it.arrival > now {
-			break
-		}
-		q.est.Observe(it.arrival)
-		q.observed++
-		fed++
+	n := q.Available(now)
+	if n <= q.observed {
+		return 0
 	}
+	fed := n - q.observed
+	lo, hi := q.idx(q.observed), q.idx(n)
+	if lo < hi {
+		q.est.ObserveBatch(q.arrivals[lo:hi])
+	} else {
+		q.est.ObserveBatch(q.arrivals[lo:q.capacity])
+		q.est.ObserveBatch(q.arrivals[:hi])
+	}
+	q.observed = n
 	return fed
 }
 
@@ -226,6 +397,13 @@ func NewRateEstimator(alpha float64) *RateEstimator {
 	return &RateEstimator{alpha: alpha}
 }
 
+// Reset clears all observations, keeping the smoothing factor.
+func (e *RateEstimator) Reset() {
+	e.last = 0
+	e.mean = 0
+	e.n = 0
+}
+
 // Observe records one arrival instant.
 func (e *RateEstimator) Observe(at time.Duration) {
 	if e.n > 0 {
@@ -241,6 +419,15 @@ func (e *RateEstimator) Observe(at time.Duration) {
 	}
 	e.last = at
 	e.n++
+}
+
+// ObserveBatch records a run of arrival instants. The arithmetic is the
+// same sequence of float operations as calling Observe per element, so the
+// smoothed mean is bit-identical; only the call overhead is amortized.
+func (e *RateEstimator) ObserveBatch(at []time.Duration) {
+	for _, a := range at {
+		e.Observe(a)
+	}
 }
 
 // Mean returns the smoothed inter-arrival time. The boolean is false until

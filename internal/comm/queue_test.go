@@ -187,6 +187,233 @@ func TestQueueAgreesWithBruteForceModel(t *testing.T) {
 	}
 }
 
+// refillProducer mirrors the wrapper pump against both the queue under test
+// and the brute-force model: each Resume pushes up to one refill tuple with
+// an arrival derived from the resume instant, exactly when the window has
+// room — so debt-reserved slots must keep it suspended just like buffered
+// tuples would.
+type refillProducer struct {
+	q           *Queue
+	m           *popModel
+	rows        int64
+	seq         *int64
+	lastArrival time.Duration
+	resumes     []time.Duration
+}
+
+func (p *refillProducer) Resume(now time.Duration) {
+	p.resumes = append(p.resumes, now)
+	if p.rows <= 0 || p.q.Full() {
+		return
+	}
+	at := now + ms(3)
+	if at < p.lastArrival {
+		at = p.lastArrival
+	}
+	p.lastArrival = at
+	p.rows--
+	*p.seq++
+	p.q.Push(relation.Tuple{*p.seq}, at)
+	p.m.push(relation.Tuple{*p.seq}, at)
+}
+
+// popModel is the brute-force reference for the bulk protocol: plain slices
+// for the buffer plus a slice for popped-but-uncredited tuples, scanned end
+// to end, with none of the ring arithmetic, debt accounting, or cache
+// maintenance.
+type popModel struct {
+	tuples       []relation.Tuple
+	arrivals     []time.Duration
+	debt         []relation.Tuple // popped, window slot still reserved
+	debtArrivals []time.Duration  // originals, restored verbatim by unpopN
+	capacity     int
+}
+
+func (m *popModel) full() bool { return len(m.tuples)+len(m.debt) == m.capacity }
+
+func (m *popModel) push(t relation.Tuple, at time.Duration) {
+	m.tuples = append(m.tuples, t)
+	m.arrivals = append(m.arrivals, at)
+}
+
+func (m *popModel) available(now time.Duration) int {
+	n := 0
+	for _, at := range m.arrivals {
+		if at > now {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func (m *popModel) popN(now time.Duration, max int) []relation.Tuple {
+	n := m.available(now)
+	if n > max {
+		n = max
+	}
+	out := append([]relation.Tuple(nil), m.tuples[:n]...)
+	m.debt = append(m.debt, out...)
+	m.debtArrivals = append(m.debtArrivals, m.arrivals[:n]...)
+	m.tuples = m.tuples[n:]
+	m.arrivals = m.arrivals[n:]
+	return out
+}
+
+func (m *popModel) credit() {
+	m.debt = m.debt[1:]
+	m.debtArrivals = m.debtArrivals[1:]
+}
+
+func (m *popModel) unpopN(n int) {
+	cut := len(m.debt) - n
+	m.tuples = append(append([]relation.Tuple(nil), m.debt[cut:]...), m.tuples...)
+	m.arrivals = append(append([]time.Duration(nil), m.debtArrivals[cut:]...), m.arrivals...)
+	m.debt = m.debt[:cut]
+	m.debtArrivals = m.debtArrivals[:cut]
+}
+
+// TestQueuePopNAgreesWithBruteForceModel drives the bulk protocol — PopN
+// with partial-arrival batches, per-tuple Credit with a live producer that
+// refills the window mid-batch, and UnpopN of unprocessed tails — against
+// the brute-force model, requiring tuple-for-tuple agreement at every step.
+func TestQueuePopNAgreesWithBruteForceModel(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		capacity := 1 + rng.Intn(9)
+		q := NewQueue("w", capacity)
+		m := &popModel{capacity: capacity}
+		var seq int64
+		prod := &refillProducer{q: q, m: m, rows: 500, seq: &seq}
+		q.SetProducer(prod)
+		var lastArrival, now time.Duration
+		buf := make([]relation.Tuple, capacity+2)
+		for step := 0; step < 2000; step++ {
+			switch op := rng.Intn(6); {
+			case op == 0 && !q.Full(): // direct push (initial fill traffic)
+				lastArrival += time.Duration(rng.Intn(5)) * time.Millisecond
+				if lastArrival < prod.lastArrival {
+					lastArrival = prod.lastArrival
+				}
+				prod.lastArrival = lastArrival
+				seq++
+				q.Push(relation.Tuple{seq}, lastArrival)
+				m.push(relation.Tuple{seq}, lastArrival)
+			case op == 1 || op == 2: // bulk pop at an instant that may strand late arrivals
+				now += time.Duration(rng.Intn(6)) * time.Millisecond
+				max := 1 + rng.Intn(len(buf))
+				got := buf[:q.PopN(now, buf[:max])]
+				want := m.popN(now, max)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d step %d: PopN moved %d, want %d", trial, step, len(got), len(want))
+				}
+				for i := range got {
+					if got[i][0] != want[i][0] {
+						t.Fatalf("trial %d step %d: PopN[%d] = %v, want %v", trial, step, i, got[i], want[i])
+					}
+				}
+			case op == 3 && q.Debt() > 0: // credit one slot; producer may refill mid-batch
+				now += time.Duration(rng.Intn(3)) * time.Millisecond
+				q.Credit(now)
+				m.credit()
+			case op == 4 && q.Debt() > 0: // give back an unprocessed tail
+				n := 1 + rng.Intn(q.Debt())
+				q.UnpopN(n)
+				m.unpopN(n)
+			default: // availability probe, sometimes in the past
+				at := now - time.Duration(rng.Intn(8))*time.Millisecond
+				if at < 0 {
+					at = 0
+				}
+				if got, want := q.Available(at), m.available(at); got != want {
+					t.Fatalf("trial %d step %d: Available(%v) = %d, want %d", trial, step, at, got, want)
+				}
+			}
+			if q.Len() != len(m.tuples) {
+				t.Fatalf("trial %d step %d: Len = %d, want %d", trial, step, q.Len(), len(m.tuples))
+			}
+			if q.Debt() != len(m.debt) {
+				t.Fatalf("trial %d step %d: Debt = %d, want %d", trial, step, q.Debt(), len(m.debt))
+			}
+			if q.Full() != m.full() {
+				t.Fatalf("trial %d step %d: Full = %v, want %v", trial, step, q.Full(), m.full())
+			}
+		}
+		// Drain: credit all debt, then pop and credit the remainder, checking
+		// FIFO order survives the wraparound and unpop traffic.
+		for q.Debt() > 0 {
+			q.Credit(now)
+			m.credit()
+		}
+		now += time.Duration(len(m.tuples)+1) * time.Second
+		for q.Available(now) > 0 {
+			got := buf[:q.PopN(now, buf[:1])]
+			want := m.popN(now, 1)
+			if got[0][0] != want[0][0] {
+				t.Fatalf("trial %d drain: pop = %v, want %v", trial, got[0], want[0])
+			}
+			q.Credit(now)
+			m.credit()
+		}
+	}
+}
+
+func TestQueuePopNDoesNotResumeUntilCredit(t *testing.T) {
+	q := NewQueue("w", 2)
+	rec := &resumeRecorder{}
+	q.SetProducer(rec)
+	q.Push(relation.Tuple{1}, ms(1))
+	q.Push(relation.Tuple{2}, ms(2))
+	buf := make([]relation.Tuple, 2)
+	if n := q.PopN(ms(5), buf); n != 2 {
+		t.Fatalf("PopN = %d", n)
+	}
+	if len(rec.calls) != 0 {
+		t.Fatalf("PopN resumed producer: %v", rec.calls)
+	}
+	if !q.Full() {
+		t.Error("debt slots should keep the window full")
+	}
+	q.Credit(ms(7))
+	q.Credit(ms(9))
+	if len(rec.calls) != 2 || rec.calls[0] != ms(7) || rec.calls[1] != ms(9) {
+		t.Errorf("Resume calls = %v", rec.calls)
+	}
+	if q.Full() || q.Debt() != 0 {
+		t.Errorf("after credits: Full=%v Debt=%d", q.Full(), q.Debt())
+	}
+}
+
+func TestQueuePushNMatchesPush(t *testing.T) {
+	a := NewQueue("a", 7)
+	b := NewQueue("b", 7)
+	tuples := []relation.Tuple{{1}, {2}, {3}, {4}, {5}}
+	arrivals := []time.Duration{ms(1), ms(1), ms(4), ms(9), ms(12)}
+	// Offset both rings so PushN has to wrap.
+	for _, q := range []*Queue{a, b} {
+		q.Push(relation.Tuple{0}, 0)
+		q.Pop(0)
+		q.Available(ms(2)) // advance the arrived cache high-water mark
+	}
+	for i := range tuples {
+		a.Push(tuples[i], arrivals[i])
+	}
+	b.PushN(tuples, arrivals)
+	if a.Len() != b.Len() {
+		t.Fatalf("Len: %d vs %d", a.Len(), b.Len())
+	}
+	for _, at := range []time.Duration{0, ms(1), ms(2), ms(5), ms(20)} {
+		if x, y := a.Available(at), b.Available(at); x != y {
+			t.Errorf("Available(%v): %d vs %d", at, x, y)
+		}
+	}
+	for a.Len() > 0 {
+		if x, y := a.Pop(ms(20)), b.Pop(ms(20)); x[0] != y[0] {
+			t.Errorf("pop order diverged: %v vs %v", x, y)
+		}
+	}
+}
+
 func TestRateEstimatorEWMA(t *testing.T) {
 	e := NewRateEstimator(0.5)
 	if _, ok := e.Mean(); ok {

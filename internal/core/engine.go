@@ -139,11 +139,17 @@ func (e *Engine) Run() ([]exec.Result, error) {
 	med := e.med
 	// Livelock guard: scheduling rounds that advance neither virtual time
 	// nor any progress counter indicate an engine bug; fail loudly with
-	// diagnostics instead of spinning.
-	var lastProgress string
+	// diagnostics instead of spinning. The marker is a comparable struct, not
+	// a formatted string: the guard runs every round, so it must not allocate.
+	type progressMark struct {
+		now        time.Duration
+		memUsed    int64
+		diskWrites int64
+	}
+	var lastProgress progressMark
 	stuckRounds := 0
 	for !e.allComplete() {
-		progress := fmt.Sprintf("%d|%d|%d", med.Now(), med.Mem.Used(), med.Disk.Stats().Writes)
+		progress := progressMark{now: med.Now(), memUsed: med.Mem.Used(), diskWrites: med.Disk.Stats().Writes}
 		if progress == lastProgress {
 			stuckRounds++
 			if stuckRounds > 100000 {

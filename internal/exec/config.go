@@ -67,8 +67,20 @@ type Config struct {
 	// Seed drives every random stream (delays). Runs with equal seeds and
 	// configs are bit-identical.
 	Seed int64
+	// PerTupleDataflow switches fragments and the DPHJ network back to the
+	// pop-one-tuple-at-a-time input protocol instead of the batched PopN/
+	// Credit path. The two paths are bit-identical by construction; the
+	// toggle exists so differential tests can prove it. Off (batched) in
+	// production.
+	PerTupleDataflow bool
 	// Trace, when non-nil, records execution events.
 	Trace *sim.Trace
+	// Scratch, when non-nil, supplies pooled per-run execution state
+	// (queues, hash tables, arenas, temp storage). The mediator draws its
+	// allocation-heavy structures from it and Mediator.Reclaim returns them;
+	// pooling recycles capacity only, never contents, so runs are
+	// bit-identical with or without it. A Scratch serves one run at a time.
+	Scratch *Scratch
 }
 
 // DefaultConfig returns the configuration used by the paper's experiments:

@@ -29,6 +29,7 @@ func RunDPHJ(rt *Runtime) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer net.reclaim()
 	type feed struct {
 		src  TupleSource
 		leaf *symLeaf
@@ -41,6 +42,13 @@ func RunDPHJ(rt *Runtime) (Result, error) {
 		}
 		feeds = append(feeds, feed{src: rt.QueueSource(c.Scan.Rel.Name), leaf: leaf})
 	}
+	perTuple := rt.Cfg.PerTupleDataflow
+	popBuf := rt.Cfg.Scratch.GetTuples()
+	if cap(popBuf) < rt.Cfg.BatchTuples {
+		popBuf = make([]relation.Tuple, rt.Cfg.BatchTuples)
+	}
+	popBuf = popBuf[:rt.Cfg.BatchTuples]
+	defer rt.Cfg.Scratch.PutTuples(popBuf)
 	for {
 		progressed := false
 		exhausted := 0
@@ -53,8 +61,19 @@ func RunDPHJ(rt *Runtime) (Result, error) {
 			if n > rt.Cfg.BatchTuples {
 				n = rt.Cfg.BatchTuples
 			}
+			if !perTuple {
+				// Bulk removal with per-tuple slot credits at the instants
+				// the per-tuple pops would have happened; see Fragment.
+				n = f.src.PopN(rt.Now(), popBuf[:n])
+			}
 			for i := 0; i < n; i++ {
-				t := f.src.Pop(rt.Now())
+				var t relation.Tuple
+				if perTuple {
+					t = f.src.Pop(rt.Now())
+				} else {
+					t = popBuf[i]
+					f.src.Credit(rt.Now())
+				}
 				rt.Costs.ChargeReceive()
 				rt.Costs.ChargeMove()
 				if f.leaf.pred != nil && !operator.EvalPred(t, f.leaf.predIdx, f.leaf.pred.Less) {
@@ -137,12 +156,16 @@ func newSymNet(rt *Runtime) (*symNet, error) {
 		case plan.KindHashJoin:
 			sj := &symJoin{
 				node:       n,
-				buildTable: operator.NewHashTable(n.Build.Schema.MustIndexOf(n.BuildKey)),
-				probeTable: operator.NewHashTable(n.Probe.Schema.MustIndexOf(n.ProbeKey)),
+				buildTable: rt.Cfg.Scratch.Table(n.Build.Schema.MustIndexOf(n.BuildKey)),
+				probeTable: rt.Cfg.Scratch.Table(n.Probe.Schema.MustIndexOf(n.ProbeKey)),
 				buildIdx:   n.Build.Schema.MustIndexOf(n.BuildKey),
 				probeIdx:   n.Probe.Schema.MustIndexOf(n.ProbeKey),
 				parent:     parent,
 				fromBuild:  fromBuild,
+			}
+			if s := rt.Cfg.Scratch; s != nil {
+				sj.arena.Recycle(s.GetInts())
+				sj.matchBuf = s.GetTuples()
 			}
 			if parent == nil {
 				net.root = sj
@@ -168,9 +191,26 @@ func newSymNet(rt *Runtime) (*symNet, error) {
 		}
 	}
 	if err := build(rt.Root, nil, false); err != nil {
+		net.reclaim()
 		return nil, err
 	}
 	return net, nil
+}
+
+// reclaim hands the network's pooled tables and scratch back to the run
+// pool; the join network lives only for one RunDPHJ call.
+func (net *symNet) reclaim() {
+	s := net.rt.Cfg.Scratch
+	if s == nil {
+		return
+	}
+	for _, sj := range net.joins {
+		s.PutTable(sj.buildTable)
+		s.PutTable(sj.probeTable)
+		s.PutInts(sj.arena.Release())
+		s.PutTuples(sj.matchBuf)
+		sj.buildTable, sj.probeTable, sj.matchBuf = nil, nil, nil
+	}
 }
 
 // arrive delivers one tuple to a join from the given side, inserting,
@@ -190,30 +230,20 @@ func (net *symNet) arrive(sj *symJoin, fromBuild bool, t relation.Tuple) bool {
 	rt.Costs.ChargeMove()
 	sj.arena.Reset()
 	matches := sj.matchBuf[:0]
+	var k int
 	if fromBuild {
 		sj.buildTable.Insert(t)
 		rt.Costs.ChargeProbe()
-		for it := sj.probeTable.Probe(t[sj.buildIdx]); ; {
-			m := it.Next()
-			if m == nil {
-				break
-			}
-			rt.Costs.ChargeResult()
-			// Result schema is probe ++ build, matching the plan schema.
-			matches = append(matches, sj.arena.Concat(m, t))
-		}
+		// Result schema is probe ++ build, matching the plan schema.
+		matches, k = sj.probeTable.ProbeConcatRev(matches, t, t[sj.buildIdx], &sj.arena)
 	} else {
 		sj.probeTable.Insert(t)
 		rt.Costs.ChargeProbe()
-		for it := sj.buildTable.Probe(t[sj.probeIdx]); ; {
-			m := it.Next()
-			if m == nil {
-				break
-			}
-			rt.Costs.ChargeResult()
-			matches = append(matches, sj.arena.Concat(t, m))
-		}
+		matches, k = sj.buildTable.ProbeConcat(matches, t, t[sj.probeIdx], &sj.arena)
 	}
+	// The probe loop reads no clocks, so the per-match result charges merge
+	// into one exact clock addition.
+	rt.Costs.CPU.Clock.Work(time.Duration(k) * rt.Costs.ResultT)
 	sj.matchBuf = matches
 	for _, out := range matches {
 		if sj.parent == nil {

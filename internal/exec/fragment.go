@@ -77,6 +77,9 @@ type Fragment struct {
 	pending   []relation.Tuple
 	processed int64
 	done      bool
+
+	// popBuf stages bulk-popped input tuples between PopN and processing.
+	popBuf []relation.Tuple
 }
 
 type stepExec struct {
@@ -120,6 +123,13 @@ func (rt *Runtime) newFragment(c *plan.Chain, label string, fromStep, toStep int
 			probeIdx: inputSchemaAt(c, i).MustIndexOf(j.ProbeKey),
 		})
 	}
+	if s := rt.Cfg.Scratch; s != nil {
+		f.arena.Recycle(s.GetInts())
+		f.curBuf = s.GetTuples()
+		f.nextBuf = s.GetTuples()
+		f.popBuf = s.GetTuples()
+	}
+	rt.frags = append(rt.frags, f)
 	return f
 }
 
@@ -260,16 +270,21 @@ func (f *Fragment) sink(out relation.Tuple) bool {
 }
 
 // applyTuple pushes one input tuple through the fragment's probe steps and
-// returns the terminal-ready results. Cost charging happens inline. The
-// returned slice and its tuples live in the fragment's scratch buffers and
-// are recycled by the next applyTuple call: sink every result (or copy it
-// out) before processing another input.
+// returns the terminal-ready results. All CPU costs of the tuple's cascade
+// are accumulated and charged in one clock addition at the end: no code in
+// the cascade reads the clock, and duration addition is exact, so the clock
+// lands on the same instant as per-charge billing. The returned slice and
+// its tuples live in the fragment's scratch buffers and are recycled by the
+// next applyTuple call: sink every result (or copy it out) before
+// processing another input.
 func (f *Fragment) applyTuple(t relation.Tuple) []relation.Tuple {
+	costs := &f.rt.Costs
+	d := costs.MoveT
 	if f.QueueInput {
-		f.rt.Costs.ChargeReceive()
+		d += costs.ReceiveT
 	}
-	f.rt.Costs.ChargeMove()
 	if f.hasPred && t[f.predIdx] >= f.predLess {
+		costs.CPU.Clock.Work(d)
 		return nil
 	}
 	f.arena.Reset()
@@ -280,24 +295,55 @@ func (f *Fragment) applyTuple(t relation.Tuple) []relation.Tuple {
 			panic(fmt.Sprintf("exec: %s probes incomplete table of J%d", f.Label, s.join.ID))
 		}
 		next = next[:0]
+		matches := 0
 		for _, u := range cur {
-			f.rt.Costs.ChargeProbe()
-			for it := ts.ht.Probe(u[s.probeIdx]); ; {
-				m := it.Next()
-				if m == nil {
-					break
-				}
-				f.rt.Costs.ChargeResult()
-				next = append(next, f.arena.Concat(u, m))
-			}
+			var k int
+			next, k = ts.ht.ProbeConcat(next, u, u[s.probeIdx], &f.arena)
+			matches += k
 		}
+		d += time.Duration(len(cur))*costs.ProbeT + time.Duration(matches)*costs.ResultT
 		cur, next = next, cur
 		if len(cur) == 0 {
 			break
 		}
 	}
+	costs.CPU.Clock.Work(d)
 	f.curBuf, f.nextBuf = cur, next
 	return cur
+}
+
+// sinkAll delivers a tuple's terminal-ready outputs. Build terminals go
+// through the bulk insert path: one memory reservation and one hash-table
+// batch append for the whole run, with the per-tuple move charges merged
+// into a single clock addition (the insert path never reads the clock, so
+// the merge is exact). It returns false on memory overflow, with the unsunk
+// suffix copied to pending.
+func (f *Fragment) sinkAll(outs []relation.Tuple) bool {
+	if f.Term == TermBuild && len(outs) > 1 {
+		k := f.rt.buildInsertBatch(f.Chain.BuildsFor, outs)
+		f.rt.Costs.CPU.Clock.Work(time.Duration(k) * f.rt.Costs.MoveT)
+		if k < len(outs) {
+			f.strand(outs[k:])
+			return false
+		}
+		return true
+	}
+	for i, out := range outs {
+		if !f.sink(out) {
+			f.strand(outs[i:])
+			return false
+		}
+	}
+	return true
+}
+
+// strand copies overflow-stranded outputs into the pending retry buffer;
+// they must outlive the scratch arena. Overflow is the rare path, so the
+// copies don't matter.
+func (f *Fragment) strand(outs []relation.Tuple) {
+	for _, o := range outs {
+		f.pending = append(f.pending, append(relation.Tuple(nil), o...))
+	}
 }
 
 // ProcessBatch consumes up to max input tuples at the current virtual time,
@@ -315,6 +361,25 @@ func (f *Fragment) ProcessBatch(max int) (int, bool) {
 		}
 		f.pending = f.pending[1:]
 	}
+	var n int
+	var overflow bool
+	if f.rt.Cfg.PerTupleDataflow {
+		n, overflow = f.processPerTuple(max)
+	} else {
+		n, overflow = f.processBulk(max)
+	}
+	if overflow {
+		return n, true
+	}
+	f.maybeFinish()
+	return n, false
+}
+
+// processPerTuple is the reference dataflow: pop one tuple at a time, each
+// pop immediately releasing its window slot. Kept behind
+// Config.PerTupleDataflow so differential tests can prove the bulk path
+// below is bit-identical to it.
+func (f *Fragment) processPerTuple(max int) (int, bool) {
 	n := 0
 	for n < max {
 		now := f.rt.Now()
@@ -327,19 +392,47 @@ func (f *Fragment) ProcessBatch(max int) (int, bool) {
 		}
 		f.processed++
 		n++
-		outs := f.applyTuple(t)
-		for i, out := range outs {
-			if !f.sink(out) {
-				// Stranded outputs outlive the scratch arena; copy them out.
-				// Overflow is the rare path, so the copies don't matter.
-				for _, o := range outs[i:] {
-					f.pending = append(f.pending, append(relation.Tuple(nil), o...))
-				}
+		if !f.sinkAll(f.applyTuple(t)) {
+			return n, true
+		}
+	}
+	return n, false
+}
+
+// processBulk consumes input in bulk chunks: every tuple available at the
+// chunk instant is removed from the source in one PopN, then each is
+// credited back at the virtual instant its processing starts — the instant
+// a per-tuple Pop would have freed its window slot. After a chunk the
+// availability check repeats at the advanced clock, exactly like the
+// per-tuple loop's per-iteration check, so refills arriving while a chunk
+// was processed are picked up at the same instants.
+func (f *Fragment) processBulk(max int) (int, bool) {
+	n := 0
+	for n < max {
+		now := f.rt.Now()
+		want := max - n
+		if cap(f.popBuf) < want {
+			f.popBuf = make([]relation.Tuple, want)
+		}
+		buf := f.popBuf[:want]
+		k := f.In.PopN(now, buf)
+		if k == 0 {
+			break
+		}
+		for i := 0; i < k; i++ {
+			t := buf[i]
+			f.In.Credit(f.rt.Now())
+			if f.processed == 0 {
+				f.rt.Trace.Add(f.rt.Now(), sim.EvBatch, "%s first batch", f.Label)
+			}
+			f.processed++
+			n++
+			if !f.sinkAll(f.applyTuple(t)) {
+				f.In.UnpopN(k - i - 1)
 				return n, true
 			}
 		}
 	}
-	f.maybeFinish()
 	return n, false
 }
 

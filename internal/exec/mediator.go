@@ -29,8 +29,10 @@ type Mediator struct {
 	CM    *comm.Manager
 	Trace *sim.Trace
 
-	rng     *sim.RNG
-	queries int
+	rng       *sim.RNG
+	queries   int
+	rts       []*Runtime
+	reclaimed bool
 
 	replans    int
 	degrades   int
@@ -53,7 +55,7 @@ func NewMediator(cfg Config) (*Mediator, error) {
 		Cfg:   cfg,
 		Clock: clock,
 		Disk:  disk,
-		Costs: operator.Costs{CPU: sim.CPU{Clock: clock, Params: cfg.Params}},
+		Costs: operator.NewCosts(clock, cfg.Params),
 		Mem:   memMgr,
 		Temps: mem.NewTempStore(cfg.Params, disk, clock),
 		CM:    comm.NewManager(),
@@ -61,7 +63,31 @@ func NewMediator(cfg Config) (*Mediator, error) {
 		rng:   sim.NewRNG(cfg.Seed),
 	}
 	m.CM.ChangeFactor = cfg.RateChangeFactor
+	if cfg.Scratch != nil {
+		m.Temps.SetPool(cfg.Scratch)
+	}
 	return m, nil
+}
+
+// Reclaim returns the mediator's pooled execution state — queues, hash
+// tables, fragment scratch, temp-relation storage — to the configured
+// Scratch, making it available to the pool's next run. It must only be
+// called when every Runtime of this mediator is finished and no tuple
+// handed out by the run is referenced anymore. A second call, or a call
+// without a Scratch, is a no-op.
+func (m *Mediator) Reclaim() {
+	s := m.Cfg.Scratch
+	if s == nil || m.reclaimed {
+		return
+	}
+	m.reclaimed = true
+	for _, q := range m.CM.Queues() {
+		s.PutQueue(q)
+	}
+	for _, rt := range m.rts {
+		rt.reclaim(s)
+	}
+	m.Temps.Reclaim()
 }
 
 // Now returns the mediator's virtual time.
@@ -109,7 +135,8 @@ func (m *Mediator) AddQuery(label string, root *plan.Node, ds relation.Dataset, 
 				name, table.Rel.Cardinality, len(table.Rows))
 		}
 		cmName := rt.cmName(name)
-		q := m.CM.Register(cmName, m.Cfg.QueueTuples)
+		q := m.Cfg.Scratch.Queue(cmName, m.Cfg.QueueTuples)
+		m.CM.Adopt(q)
 		d := deliveries[name]
 		opts := []source.Option{source.WithMeanWait(d.MeanWait)}
 		if len(d.Phases) > 0 {
@@ -128,9 +155,10 @@ func (m *Mediator) AddQuery(label string, root *plan.Node, ds relation.Dataset, 
 	for _, j := range plan.Joins(root) {
 		rt.tables[j.ID] = &tableState{
 			join: j,
-			ht:   operator.NewHashTable(j.Build.Schema.MustIndexOf(j.BuildKey)),
+			ht:   m.Cfg.Scratch.Table(j.Build.Schema.MustIndexOf(j.BuildKey)),
 		}
 	}
+	m.rts = append(m.rts, rt)
 	return rt, nil
 }
 

@@ -40,6 +40,7 @@ type Runtime struct {
 	sources map[string]*source.Source
 	qsrcs   map[string]*queueSource
 	tables  map[int]*tableState
+	frags   []*Fragment
 
 	outputRows int64
 	matTuples  int64
@@ -134,6 +135,36 @@ func (rt *Runtime) buildInsert(j *plan.Node, t relation.Tuple) bool {
 	return true
 }
 
+// buildInsertBatch adds a run of tuples to join j's table with one memory
+// reservation and one bulk hash-table append, returning how many tuples
+// made it in. When the single reservation fails — the grant is nearly
+// exhausted — it falls back to tuple-at-a-time reservation to find the
+// exact overflow boundary the per-tuple path would have found; memory
+// accounting (including the peak) is identical either way because the
+// reservations sum to the same total with no interleaved releases.
+func (rt *Runtime) buildInsertBatch(j *plan.Node, ts []relation.Tuple) int {
+	state := rt.table(j)
+	if state.complete {
+		panic(fmt.Sprintf("exec: insert into completed table of J%d", j.ID))
+	}
+	n := int64(rt.Cfg.Params.TupleSize)
+	if total := n * int64(len(ts)); rt.Mem.Reserve(total) {
+		state.reserved += total
+		state.ht.InsertBatch(ts)
+		state.rows += int64(len(ts))
+		return len(ts)
+	}
+	for i, t := range ts {
+		if !rt.Mem.Reserve(n) {
+			return i
+		}
+		state.reserved += n
+		state.ht.Insert(t)
+		state.rows++
+	}
+	return len(ts)
+}
+
 // completeTable marks join j's table as fully built.
 func (rt *Runtime) completeTable(j *plan.Node) {
 	rt.table(j).complete = true
@@ -150,7 +181,31 @@ func (rt *Runtime) releaseTable(j *plan.Node) {
 	rt.Mem.Release(ts.reserved)
 	ts.reserved = 0
 	ts.released = true
+	// The table's storage goes back to the run pool right away: nothing
+	// aliases it (probe results are copied into fragment arenas), and no
+	// table is acquired after run start, so it cannot be handed back out
+	// within this run.
+	rt.Cfg.Scratch.PutTable(ts.ht)
 	ts.ht = nil
+}
+
+// reclaim hands the runtime's pooled structures back to s: surviving hash
+// tables and every fragment's scratch buffers.
+func (rt *Runtime) reclaim(s *Scratch) {
+	for _, ts := range rt.tables {
+		if ts.ht != nil {
+			s.PutTable(ts.ht)
+			ts.ht = nil
+		}
+	}
+	for _, f := range rt.frags {
+		s.PutInts(f.arena.Release())
+		s.PutTuples(f.curBuf)
+		s.PutTuples(f.nextBuf)
+		s.PutTuples(f.popBuf)
+		f.curBuf, f.nextBuf, f.popBuf, f.pending = nil, nil, nil, nil
+	}
+	rt.frags = nil
 }
 
 // emitOutput counts one result tuple leaving the engine.

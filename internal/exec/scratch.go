@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"dqs/internal/comm"
+	"dqs/internal/operator"
+	"dqs/internal/relation"
+)
+
+// Pool size caps. A run pool holds at most this many recycled objects per
+// kind; anything beyond is dropped for the GC, bounding retained memory no
+// matter how many configurations a sweep cycles through.
+const (
+	maxPooledQueues = 64
+	maxPooledTables = 64
+	maxPooledSlices = 256
+)
+
+// Scratch recycles the allocation-heavy execution state of one simulator
+// run — wrapper queues, hash tables, tuple arenas, temp-relation storage and
+// probe-cascade scratch buffers — across runs. The experiment harness checks
+// one Scratch out per cell from a sync.Pool, so repeated cells reuse grown
+// storage instead of re-allocating it; pooling recycles only capacity, never
+// contents (every object is Reset on checkout), so results are bit-identical
+// with or without it.
+//
+// A Scratch is NOT safe for concurrent use: it must serve one run at a time.
+// All methods are nil-receiver safe and fall back to plain allocation, so
+// call sites need no pooling branch.
+type Scratch struct {
+	queues []*comm.Queue
+	tables []*operator.HashTable
+	ints   [][]int64
+	tuples [][]relation.Tuple
+}
+
+// NewScratch returns an empty pool.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Queue returns a reset queue of the given capacity, recycled when the pool
+// holds one of matching capacity (window sizes are sweep parameters, so only
+// an exact match preserves the protocol).
+func (s *Scratch) Queue(name string, capacity int) *comm.Queue {
+	if s != nil {
+		for i := len(s.queues) - 1; i >= 0; i-- {
+			if q := s.queues[i]; q.Capacity() == capacity {
+				last := len(s.queues) - 1
+				s.queues[i] = s.queues[last]
+				s.queues[last] = nil
+				s.queues = s.queues[:last]
+				q.Reset(name)
+				return q
+			}
+		}
+	}
+	return comm.NewQueue(name, capacity)
+}
+
+// PutQueue returns a queue to the pool once its run is over.
+func (s *Scratch) PutQueue(q *comm.Queue) {
+	if s == nil || q == nil || len(s.queues) >= maxPooledQueues {
+		return
+	}
+	s.queues = append(s.queues, q)
+}
+
+// Table returns an empty hash table keyed on keyIdx, recycled when
+// available.
+func (s *Scratch) Table(keyIdx int) *operator.HashTable {
+	if s != nil && len(s.tables) > 0 {
+		last := len(s.tables) - 1
+		h := s.tables[last]
+		s.tables[last] = nil
+		s.tables = s.tables[:last]
+		h.Recycle(keyIdx)
+		return h
+	}
+	return operator.NewHashTable(keyIdx)
+}
+
+// PutTable returns a hash table to the pool once its run is over.
+func (s *Scratch) PutTable(h *operator.HashTable) {
+	if s == nil || h == nil || len(s.tables) >= maxPooledTables {
+		return
+	}
+	s.tables = append(s.tables, h)
+}
+
+// GetInts returns a recycled flat []int64 arena (length zero), or nil when
+// the pool is empty. Implements mem.IntRecycler.
+func (s *Scratch) GetInts() []int64 {
+	if s == nil || len(s.ints) == 0 {
+		return nil
+	}
+	last := len(s.ints) - 1
+	b := s.ints[last]
+	s.ints[last] = nil
+	s.ints = s.ints[:last]
+	return b
+}
+
+// PutInts reclaims a flat arena's storage. Implements mem.IntRecycler.
+func (s *Scratch) PutInts(b []int64) {
+	if s == nil || cap(b) == 0 || len(s.ints) >= maxPooledSlices {
+		return
+	}
+	s.ints = append(s.ints, b[:0])
+}
+
+// GetTuples returns a recycled tuple-header scratch slice (length zero), or
+// nil when the pool is empty.
+func (s *Scratch) GetTuples() []relation.Tuple {
+	if s == nil || len(s.tuples) == 0 {
+		return nil
+	}
+	last := len(s.tuples) - 1
+	b := s.tuples[last]
+	s.tuples[last] = nil
+	s.tuples = s.tuples[:last]
+	return b
+}
+
+// PutTuples reclaims a tuple-header scratch slice. The headers are cleared
+// so pooled slices don't pin tuple storage from finished runs.
+func (s *Scratch) PutTuples(b []relation.Tuple) {
+	if s == nil || cap(b) == 0 || len(s.tuples) >= maxPooledSlices {
+		return
+	}
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = nil
+	}
+	s.tuples = append(s.tuples, b[:0])
+}

@@ -1,0 +1,109 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dqs/internal/workload"
+)
+
+// runPooled executes one strategy with the given scratch (nil means no
+// pooling) and reclaims the mediator afterwards.
+func runPooled(t *testing.T, s *Scratch, strategy func(*Runtime) (Result, error), memory int64) Result {
+	t.Helper()
+	w, err := workload.Fig5Small(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Scratch = s
+	if memory > 0 {
+		cfg.MemoryBytes = memory
+	}
+	rt, err := NewRuntime(cfg, w.Root, w.Dataset, uniform(w, 20*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := strategy(rt)
+	rt.Med.Reclaim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestScratchReuseIsBitIdentical pins the pooling contract: running on a
+// scratch warmed by previous runs (of other strategies, so every pooled kind
+// has been cycled) yields exactly the Result of an unpooled run.
+func TestScratchReuseIsBitIdentical(t *testing.T) {
+	strategies := map[string]func(*Runtime) (Result, error){
+		"SEQ":  RunSEQ,
+		"MA":   RunMA,
+		"DPHJ": RunDPHJ,
+	}
+	s := NewScratch()
+	// Warm the pool with every strategy so later runs draw recycled queues,
+	// tables, arenas and temp storage in mixed orders.
+	for _, run := range strategies {
+		runPooled(t, s, run, 0)
+	}
+	for name, run := range strategies {
+		fresh := runPooled(t, nil, run, 0)
+		pooled := runPooled(t, s, run, 0)
+		if !reflect.DeepEqual(fresh, pooled) {
+			t.Errorf("%s: pooled run diverged:\nfresh:  %+v\npooled: %+v", name, fresh, pooled)
+		}
+	}
+}
+
+// TestScratchReuseSurvivesMemoryOverflow reuses a scratch after an aborted
+// (memory-exceeded) run: the abandoned run's state must come back clean.
+func TestScratchReuseSurvivesMemoryOverflow(t *testing.T) {
+	s := NewScratch()
+	w, err := workload.Fig5Small(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Scratch = s
+	cfg.MemoryBytes = 64 << 10 // far too small: MA must overflow
+	rt, err := NewRuntime(cfg, w.Root, w.Dataset, uniform(w, 20*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunMA(rt); err == nil {
+		t.Fatal("expected memory overflow with a 64KiB grant")
+	}
+	rt.Med.Reclaim()
+	fresh := runPooled(t, nil, RunMA, 0)
+	pooled := runPooled(t, s, RunMA, 0)
+	if !reflect.DeepEqual(fresh, pooled) {
+		t.Errorf("pooled run after overflow diverged:\nfresh:  %+v\npooled: %+v", fresh, pooled)
+	}
+}
+
+// TestMediatorReclaimTwiceIsSafe guards the double-reclaim hazard: a second
+// Reclaim must not hand the same structures to the pool twice.
+func TestMediatorReclaimTwiceIsSafe(t *testing.T) {
+	s := NewScratch()
+	w, err := workload.Fig5Small(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Scratch = s
+	rt, err := NewRuntime(cfg, w.Root, w.Dataset, uniform(w, 20*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSEQ(rt); err != nil {
+		t.Fatal(err)
+	}
+	rt.Med.Reclaim()
+	nq := len(s.queues)
+	rt.Med.Reclaim()
+	if len(s.queues) != nq {
+		t.Errorf("double reclaim grew the queue pool: %d -> %d", nq, len(s.queues))
+	}
+}

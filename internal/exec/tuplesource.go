@@ -21,6 +21,17 @@ type TupleSource interface {
 	NextArrival() (time.Duration, bool)
 	// Pop consumes the next tuple; only legal when Available(now) > 0.
 	Pop(now time.Duration) relation.Tuple
+	// PopN bulk-consumes up to len(dst) available tuples into dst without
+	// releasing their flow-control slots; the consumer must Credit each
+	// tuple at the virtual instant it processes it (or return unprocessed
+	// ones with UnpopN). Implementations may return fewer tuples than are
+	// available — temp readers chunk at page boundaries so I/O charges land
+	// on the same instants as per-tuple consumption.
+	PopN(now time.Duration, dst []relation.Tuple) int
+	// Credit releases one PopN'd tuple's flow-control slot at time now.
+	Credit(now time.Duration)
+	// UnpopN returns the newest n uncredited tuples to the source.
+	UnpopN(n int)
 	// Exhausted reports that every tuple has been consumed.
 	Exhausted() bool
 	// Remaining returns the number of tuples not yet consumed.
@@ -54,13 +65,29 @@ func (s *queueSource) Pop(now time.Duration) relation.Tuple {
 	return s.q.Pop(now)
 }
 
+func (s *queueSource) PopN(now time.Duration, dst []relation.Tuple) int {
+	n := s.q.PopN(now, dst)
+	s.popped += n
+	return n
+}
+
+func (s *queueSource) Credit(now time.Duration) { s.q.Credit(now) }
+
+func (s *queueSource) UnpopN(n int) {
+	s.q.UnpopN(n)
+	s.popped -= n
+}
+
 func (s *queueSource) Exhausted() bool { return s.src.Exhausted() && s.q.Len() == 0 }
 
 func (s *queueSource) Remaining() int { return s.src.Rows() - s.popped }
 
-// tempSource adapts a temp-relation reader; mem.Reader already implements
-// the full protocol.
+// tempSource adapts a temp-relation reader; mem.Reader implements the
+// bulk protocol natively, and Credit is a no-op: a temp reader has no
+// window protocol, so there is no producer to resume.
 type tempSource struct{ *mem.Reader }
+
+func (tempSource) Credit(time.Duration) {}
 
 var (
 	_ TupleSource = (*queueSource)(nil)

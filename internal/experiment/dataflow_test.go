@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"dqs/internal/exec"
+	"dqs/internal/source"
+	"dqs/internal/workload"
+)
+
+// dataflowDeliveries builds the delivery scenarios of the differential test:
+// the paper's delay classes of §1.2 — a slow-delivery wrapper and a bursty
+// one — which stress the window protocol from both sides (steady back-
+// pressure vs. alternating famine and flood).
+func dataflowDeliveries(cfg exec.Config, o Options) map[string]func(w *workload.Workload) map[string]exec.Delivery {
+	return map[string]func(w *workload.Workload) map[string]exec.Delivery{
+		"slow-delivery": func(w *workload.Workload) map[string]exec.Delivery {
+			d := uniformDeliveries(w, cfg.InitialWaitEstimate)
+			d["A"] = exec.Delivery{MeanWait: 10 * cfg.InitialWaitEstimate}
+			return d
+		},
+		"bursty": func(w *workload.Workload) map[string]exec.Delivery {
+			d := uniformDeliveries(w, cfg.InitialWaitEstimate)
+			card := o.cardOf("C")
+			var phases []source.Phase
+			chunk := card / 6
+			for row, fast := 0, true; row < card; row, fast = row+chunk, !fast {
+				wph := 5 * time.Microsecond
+				if !fast {
+					wph = 300 * time.Microsecond
+				}
+				phases = append(phases, source.Phase{FromRow: row, W: wph})
+			}
+			d["C"] = exec.Delivery{Phases: phases}
+			return d
+		},
+	}
+}
+
+// TestBatchedDataflowMatchesPerTuple is the differential proof behind the
+// batched PopN/Credit dataflow: for SEQ, MA and DSE, across seeds and both
+// delay classes, the run summary of the batched path must equal — field for
+// field, virtual nanosecond for virtual nanosecond — the per-tuple reference
+// path kept behind Config.PerTupleDataflow.
+func TestBatchedDataflowMatchesPerTuple(t *testing.T) {
+	o := Options{Small: true}
+	cfg := exec.DefaultConfig()
+	for class, mk := range dataflowDeliveries(cfg, o) {
+		for _, strategy := range []string{"SEQ", "MA", "DSE"} {
+			for _, seed := range []int64{1, 2, 3} {
+				w, err := o.loadWorkload(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run := func(perTuple bool) exec.Result {
+					c := cfg
+					c.Seed = seed
+					c.PerTupleDataflow = perTuple
+					res, err := runStrategy(w, c, mk(w), strategy)
+					if err != nil {
+						t.Fatalf("%s/%s seed %d (perTuple=%v): %v", class, strategy, seed, perTuple, err)
+					}
+					return res
+				}
+				ref, batched := run(true), run(false)
+				if !reflect.DeepEqual(ref, batched) {
+					t.Errorf("%s/%s seed %d: batched dataflow diverged from per-tuple reference:\nper-tuple: %+v\nbatched:   %+v",
+						class, strategy, seed, ref, batched)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedDataflowFigureBytesMatchPerTuple renders the DelayClasses
+// figure — every delay class under SEQ, SCR, DPHJ and DSE — through both
+// dataflow paths and requires byte-identical output, the same check the
+// committed golden figures rely on.
+func TestBatchedDataflowFigureBytesMatchPerTuple(t *testing.T) {
+	render := func(perTuple bool) []byte {
+		cfg := exec.DefaultConfig()
+		cfg.PerTupleDataflow = perTuple
+		o := Options{Small: true, Seeds: []int64{1, 2, 3}, Config: &cfg}
+		fig, err := DelayClasses(o)
+		if err != nil {
+			t.Fatalf("perTuple=%v: %v", perTuple, err)
+		}
+		var buf bytes.Buffer
+		fig.Print(&buf)
+		buf.WriteString(fig.CSV())
+		return buf.Bytes()
+	}
+	ref, batched := render(true), render(false)
+	if !bytes.Equal(ref, batched) {
+		t.Errorf("figure bytes diverged between dataflow paths:\nper-tuple:\n%s\nbatched:\n%s", ref, batched)
+	}
+}

@@ -36,7 +36,11 @@ func MultiQuery(o Options) (*Figure, error) {
 	err := o.forEach(len(units), func(j int) error {
 		n, seed := levels[j/len(seeds)], seeds[j%len(seeds)]
 		start := time.Now()
-		med, err := exec.NewMediator(withSeed(cfg, seed))
+		st := acquireRunState()
+		defer st.release()
+		ucfg := withSeed(cfg, seed)
+		ucfg.Scratch = st.Scratch
+		med, err := exec.NewMediator(ucfg)
 		if err != nil {
 			return err
 		}
@@ -56,6 +60,7 @@ func MultiQuery(o Options) (*Figure, error) {
 		if err != nil {
 			return fmt.Errorf("n=%d: %w", n, err)
 		}
+		med.Reclaim()
 		var sumResp, maxResp float64
 		var last exec.Result
 		for _, r := range results {
@@ -77,11 +82,12 @@ func MultiQuery(o Options) (*Figure, error) {
 			if err != nil {
 				return err
 			}
-			rt, err := exec.NewRuntime(withSeed(cfg, seed), w.Root, w.Dataset, uniformDeliveries(w, wait))
+			rt, err := exec.NewRuntime(ucfg, w.Root, w.Dataset, uniformDeliveries(w, wait))
 			if err != nil {
 				return err
 			}
 			res, err := core.RunDSE(rt)
+			rt.Med.Reclaim()
 			if err != nil {
 				return err
 			}

@@ -139,12 +139,18 @@ func (o Options) cardOf(name string) int {
 	return n
 }
 
-// runStrategy executes one strategy on a fresh runtime.
+// runStrategy executes one strategy on a fresh runtime whose
+// allocation-heavy state is checked out of the run pool and returned after
+// the run.
 func runStrategy(w *workload.Workload, cfg exec.Config, deliveries map[string]exec.Delivery, strategy string) (exec.Result, error) {
+	st := acquireRunState()
+	defer st.release()
+	cfg.Scratch = st.Scratch
 	rt, err := exec.NewRuntime(cfg, w.Root, w.Dataset, deliveries)
 	if err != nil {
 		return exec.Result{}, err
 	}
+	defer rt.Med.Reclaim()
 	switch strategy {
 	case "SEQ":
 		return exec.RunSEQ(rt)
@@ -163,10 +169,14 @@ func runStrategy(w *workload.Workload, cfg exec.Config, deliveries map[string]ex
 
 // lowerBound computes LWB for a workload/delivery pair.
 func lowerBound(w *workload.Workload, cfg exec.Config, deliveries map[string]exec.Delivery) (time.Duration, error) {
+	st := acquireRunState()
+	defer st.release()
+	cfg.Scratch = st.Scratch
 	rt, err := exec.NewRuntime(cfg, w.Root, w.Dataset, deliveries)
 	if err != nil {
 		return 0, err
 	}
+	defer rt.Med.Reclaim()
 	return exec.LWB(rt), nil
 }
 

@@ -1,0 +1,29 @@
+package experiment
+
+import (
+	"sync"
+
+	"dqs/internal/exec"
+)
+
+// RunState is the pooled per-run execution state of one experiment cell: a
+// Scratch holding recycled wrapper queues, hash tables, tuple arenas, temp
+// storage and probe scratch buffers. Cells check one out per run, so sweeps
+// reuse grown storage instead of re-allocating the whole engine per cell.
+// sync.Pool hands each concurrent worker its own RunState, which keeps
+// pooling safe at any Options.Parallel; the pooled state carries capacity
+// only, never contents, so results stay bit-identical with or without it
+// (and at any worker count).
+type RunState struct {
+	Scratch *exec.Scratch
+}
+
+var runPool = sync.Pool{New: func() any { return &RunState{Scratch: exec.NewScratch()} }}
+
+// acquireRunState checks a RunState out of the pool.
+func acquireRunState() *RunState { return runPool.Get().(*RunState) }
+
+// release returns the state to the pool. The caller must have reclaimed its
+// mediators first (exec.Mediator.Reclaim); releasing mid-run would hand the
+// next cell live structures.
+func (st *RunState) release() { runPool.Put(st) }

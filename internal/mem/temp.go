@@ -17,11 +17,42 @@ type TempStore struct {
 	disk    *sim.Disk
 	clock   *sim.Clock
 	nextObj int
+	pool    IntRecycler
+	temps   []*Temp
+}
+
+// IntRecycler supplies and reclaims flat []int64 arenas, so a run pool can
+// recycle temp-relation storage across simulator runs. Get may return nil
+// (start from scratch); Put receives length-zero slices whose capacity is
+// the reusable storage.
+type IntRecycler interface {
+	GetInts() []int64
+	PutInts([]int64)
 }
 
 // NewTempStore binds a store to the mediator's disk and clock.
 func NewTempStore(params sim.Params, disk *sim.Disk, clock *sim.Clock) *TempStore {
 	return &TempStore{params: params, disk: disk, clock: clock, nextObj: 1}
+}
+
+// SetPool attaches an arena recycler; subsequent Creates draw their tuple
+// storage from it and Reclaim returns the storage of every temp created so
+// far.
+func (s *TempStore) SetPool(p IntRecycler) { s.pool = p }
+
+// Reclaim hands every created temp's tuple arena back to the pool. The
+// store and its temps must not be used afterwards: callers reclaim only
+// when the whole simulated run is over.
+func (s *TempStore) Reclaim() {
+	if s.pool != nil {
+		for _, t := range s.temps {
+			if t.data != nil {
+				s.pool.PutInts(t.data[:0])
+				t.data = nil
+			}
+		}
+	}
+	s.temps = nil
 }
 
 // Create opens a new temporary relation with the given schema, written with
@@ -30,13 +61,18 @@ func NewTempStore(params sim.Params, disk *sim.Disk, clock *sim.Clock) *TempStor
 func (s *TempStore) Create(name string, schema *relation.Schema) *Temp {
 	obj := s.nextObj
 	s.nextObj++
-	return &Temp{
+	t := &Temp{
 		store:  s,
 		name:   name,
 		object: obj,
 		schema: schema,
 		width:  schema.Width(),
 	}
+	if s.pool != nil {
+		t.data = s.pool.GetInts()
+	}
+	s.temps = append(s.temps, t)
+	return t
 }
 
 // CreateSync opens a temporary relation whose page writes hold the CPU
@@ -270,6 +306,54 @@ func (r *Reader) Pop(now time.Duration) relation.Tuple {
 	tup := r.temp.row(r.pos)
 	r.pos++
 	return tup
+}
+
+// PopN bulk-consumes up to len(dst) tuples into dst, never crossing a page
+// boundary, and returns how many it moved. Bounding the chunk at the page
+// edge keeps the I/O charges of batched consumption on the same virtual
+// instants as per-tuple Pops: the page read (synchronous wait or prefetch
+// issue) is paid exactly when consumption first touches the page, which for
+// a page-bounded chunk is the call itself.
+func (r *Reader) PopN(now time.Duration, dst []relation.Tuple) int {
+	if r.pos >= r.temp.nrows || len(dst) == 0 {
+		return 0
+	}
+	k := r.pageOf(r.pos)
+	end := (k + 1) * r.tuplesPerPage()
+	if end > r.temp.nrows {
+		end = r.temp.nrows
+	}
+	n := end - r.pos
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if r.sync {
+		if r.issued <= k {
+			r.temp.store.disk.SyncRead(sim.PageID{Object: r.temp.object, Page: k})
+			r.issued = k + 1
+		}
+	} else {
+		r.ensureIssued()
+		if r.readyAt[k] > now {
+			return 0 // page still in flight: nothing available yet
+		}
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.temp.row(r.pos + i)
+	}
+	r.pos += n
+	return n
+}
+
+// UnpopN rewinds the reader by n tuples, undoing the tail of a PopN batch
+// the consumer could not process. The rewind stays within the chunk's page,
+// whose read was already issued or paid, so no I/O is re-charged when the
+// tuples are consumed again.
+func (r *Reader) UnpopN(n int) {
+	if n > r.pos {
+		panic(fmt.Sprintf("mem: unpop %d past start of temp %q", n, r.temp.name))
+	}
+	r.pos -= n
 }
 
 // Exhausted reports whether every tuple has been consumed.

@@ -7,6 +7,7 @@ package operator
 
 import (
 	"fmt"
+	"time"
 
 	"dqs/internal/relation"
 	"dqs/internal/sim"
@@ -116,6 +117,38 @@ func (h *HashTable) Insert(t relation.Tuple) {
 	}
 }
 
+// InsertBatch adds a run of build tuples, equivalent to calling Insert per
+// element but growing the entry storage once for the whole run.
+func (h *HashTable) InsertBatch(ts []relation.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	if h.width < 0 {
+		h.width = len(ts[0])
+	}
+	if need := len(h.arena) + len(ts)*h.width; cap(h.arena) < need {
+		h.arena = growTo(h.arena, need)
+	}
+	if need := len(h.next) + len(ts); cap(h.next) < need {
+		h.next = growTo(h.next, need)
+	}
+	for _, t := range ts {
+		h.Insert(t)
+	}
+}
+
+// growTo reallocates s to hold at least need elements, doubling so repeated
+// batch inserts stay amortized-linear like append's growth.
+func growTo[E any](s []E, need int) []E {
+	c := 2 * cap(s)
+	if c < need {
+		c = need
+	}
+	out := make([]E, len(s), c)
+	copy(out, s)
+	return out
+}
+
 // Matches iterates the build tuples of one key in insertion order. The zero
 // value is an empty iteration.
 type Matches struct {
@@ -156,6 +189,36 @@ func (h *HashTable) Probe(key int64) Matches {
 	}
 }
 
+// ProbeConcat walks the matches of key in insertion order, appending
+// prefix++match for each to dst (backed by arena), and returns the extended
+// slice plus the match count. It is the probe cascade's inner loop with the
+// iterator hop and per-match call overhead flattened away.
+func (h *HashTable) ProbeConcat(dst []relation.Tuple, prefix relation.Tuple, key int64, arena *relation.Arena) ([]relation.Tuple, int) {
+	n := 0
+	for idx := h.Probe(key).idx; idx >= 0; idx = h.next[idx] {
+		off := int(idx) * h.width
+		m := relation.Tuple(h.arena[off : off+h.width : off+h.width])
+		dst = append(dst, arena.Concat(prefix, m))
+		n++
+	}
+	return dst, n
+}
+
+// ProbeConcatRev is ProbeConcat with the concatenation order flipped:
+// match++suffix. The symmetric-join network needs both orders because the
+// result schema is always probe-side ++ build-side regardless of which side
+// the arriving tuple came from.
+func (h *HashTable) ProbeConcatRev(dst []relation.Tuple, suffix relation.Tuple, key int64, arena *relation.Arena) ([]relation.Tuple, int) {
+	n := 0
+	for idx := h.Probe(key).idx; idx >= 0; idx = h.next[idx] {
+		off := int(idx) * h.width
+		m := relation.Tuple(h.arena[off : off+h.width : off+h.width])
+		dst = append(dst, arena.Concat(m, suffix))
+		n++
+	}
+	return dst, n
+}
+
 // Reset empties the table while keeping its arena, chain and bucket storage
 // for reuse, so steady-state refills allocate nothing.
 func (h *HashTable) Reset() {
@@ -167,6 +230,17 @@ func (h *HashTable) Reset() {
 		h.bhead[i] = -1
 	}
 	h.used = 0
+}
+
+// Recycle is Reset rekeyed: it empties the table and re-targets it at a new
+// key column, so pooled tables can serve joins with different key positions
+// while keeping their grown storage.
+func (h *HashTable) Recycle(keyIdx int) {
+	if keyIdx < 0 {
+		panic(fmt.Sprintf("operator: negative hash key index %d", keyIdx))
+	}
+	h.Reset()
+	h.keyIdx = keyIdx
 }
 
 // Rows returns the number of inserted tuples.
@@ -186,20 +260,47 @@ func EvalPred(t relation.Tuple, colIdx int, less int64) bool {
 }
 
 // Costs bundles the per-tuple instruction charges of Table 1 so operator
-// call sites read like the paper's cost model.
+// call sites read like the paper's cost model. The charge durations are
+// fixed by the parameter table, so they are converted to time once at
+// construction; per-tuple charging is then a single clock addition instead
+// of a float division and a struct copy. Batched call sites may accumulate
+// multiples of the exported durations and charge one Clock.Work: duration
+// addition is exact integer arithmetic, so the merged charge lands the
+// clock on the same instant as the per-call sequence.
 type Costs struct {
 	CPU sim.CPU
+
+	// MoveT bills moving one tuple (scan/materialize/build insert).
+	MoveT time.Duration
+	// ProbeT bills one hash-table search.
+	ProbeT time.Duration
+	// ResultT bills producing one result tuple.
+	ResultT time.Duration
+	// ReceiveT bills the amortized message-receive cost of taking one tuple
+	// off a wrapper queue.
+	ReceiveT time.Duration
+}
+
+// NewCosts precomputes the charge table for the given clock and parameters.
+func NewCosts(clock *sim.Clock, p sim.Params) Costs {
+	return Costs{
+		CPU:      sim.CPU{Clock: clock, Params: p},
+		MoveT:    p.InstrTime(p.MoveTupleInstr),
+		ProbeT:   p.InstrTime(p.HashSearchInstr),
+		ResultT:  p.InstrTime(p.ProduceResultInstr),
+		ReceiveT: p.InstrTime(p.ReceiveTupleInstr()),
+	}
 }
 
 // ChargeMove bills moving one tuple (scan/materialize/build insert).
-func (c Costs) ChargeMove() { c.CPU.Charge(c.CPU.Params.MoveTupleInstr) }
+func (c *Costs) ChargeMove() { c.CPU.Clock.Work(c.MoveT) }
 
 // ChargeProbe bills one hash-table search.
-func (c Costs) ChargeProbe() { c.CPU.Charge(c.CPU.Params.HashSearchInstr) }
+func (c *Costs) ChargeProbe() { c.CPU.Clock.Work(c.ProbeT) }
 
 // ChargeResult bills producing one result tuple.
-func (c Costs) ChargeResult() { c.CPU.Charge(c.CPU.Params.ProduceResultInstr) }
+func (c *Costs) ChargeResult() { c.CPU.Clock.Work(c.ResultT) }
 
 // ChargeReceive bills the amortized message-receive cost of taking one
 // tuple off a wrapper queue.
-func (c Costs) ChargeReceive() { c.CPU.Charge(c.CPU.Params.ReceiveTupleInstr()) }
+func (c *Costs) ChargeReceive() { c.CPU.Clock.Work(c.ReceiveT) }

@@ -260,7 +260,7 @@ func TestEvalPred(t *testing.T) {
 func TestCostsChargeTable1Times(t *testing.T) {
 	clock := sim.NewClock()
 	p := sim.DefaultParams()
-	c := Costs{CPU: sim.CPU{Clock: clock, Params: p}}
+	c := NewCosts(clock, p)
 	c.ChargeMove() // 100 instr = 1µs
 	if clock.Now() != time.Microsecond {
 		t.Errorf("move charged %v", clock.Now())

@@ -36,6 +36,22 @@ func (a *Arena) Concat(left, right Tuple) Tuple {
 	return Tuple(a.buf[n:end:end])
 }
 
+// Release detaches the arena's backing store for external pooling and
+// leaves the arena empty. The same lifetime rule as Reset applies: no tuple
+// the arena produced may be referenced afterwards.
+func (a *Arena) Release() []int64 {
+	b := a.buf
+	a.buf = nil
+	if b == nil {
+		return nil
+	}
+	return b[:0]
+}
+
+// Recycle installs a previously released backing store, truncated to empty,
+// so a fresh arena starts at the recycled capacity instead of nil.
+func (a *Arena) Recycle(buf []int64) { a.buf = buf[:0] }
+
 // Append returns a copy of t backed by the arena.
 func (a *Arena) Append(t Tuple) Tuple {
 	n := len(a.buf)

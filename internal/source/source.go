@@ -49,6 +49,12 @@ type Source struct {
 	readyAt   time.Duration // completion time of the in-flight production
 	startAt   time.Duration // production start time of the next tuple
 	blocked   bool          // suspended by the window protocol
+
+	// Staging buffers for the pump: one Resume simulates every production
+	// the window allows and hands the whole run to the queue in a single
+	// PushN instead of a Push per tuple.
+	stageT  []relation.Tuple
+	stageAt []time.Duration
 }
 
 // Option configures a Source.
@@ -104,6 +110,8 @@ func New(name string, table *relation.Table, q *comm.Queue, rng *sim.RNG, netTim
 		return nil, fmt.Errorf("source %q: negative initial delay", name)
 	}
 	q.SetProducer(s)
+	s.stageT = make([]relation.Tuple, 0, q.Capacity())
+	s.stageAt = make([]time.Duration, 0, q.Capacity())
 	s.pump(0)
 	return s, nil
 }
@@ -172,7 +180,14 @@ func (s *Source) Resume(now time.Duration) { s.pump(now) }
 // pump advances the production simulation until the window protocol blocks
 // it or the rows are exhausted. floor is the earliest instant the currently
 // held tuple may be sent (the pop time when resuming from suspension).
+//
+// Productions are staged locally and handed to the queue in one PushN: a
+// Push has no observable effect besides buffer state (no clock, no RNG), so
+// deferring the buffer writes to the end of the pump is exact. Staged
+// tuples count against the window while staging, keeping the suspension
+// point identical to the push-per-tuple loop.
 func (s *Source) pump(floor time.Duration) {
+	staged := 0
 	for s.next < len(s.rows) {
 		if !s.producing {
 			w := s.waitFor(s.next)
@@ -183,19 +198,28 @@ func (s *Source) pump(floor time.Duration) {
 			s.readyAt = s.startAt + d
 			s.producing = true
 		}
-		if s.q.Full() {
+		if s.q.Len()+s.q.Debt()+staged == s.q.Capacity() {
 			s.blocked = true
-			return
+			break
 		}
 		send := s.readyAt
 		if floor > send {
 			send = floor
 		}
-		s.q.Push(s.rows[s.next], send+s.netTime)
+		s.stageT = append(s.stageT, s.rows[s.next])
+		s.stageAt = append(s.stageAt, send+s.netTime)
+		staged++
 		s.next++
 		s.producing = false
 		s.blocked = false
 		s.startAt = send
 	}
-	s.blocked = false
+	if s.next >= len(s.rows) {
+		s.blocked = false
+	}
+	if staged > 0 {
+		s.q.PushN(s.stageT, s.stageAt)
+		s.stageT = s.stageT[:0]
+		s.stageAt = s.stageAt[:0]
+	}
 }
