@@ -67,6 +67,14 @@ type Queue struct {
 	est      *RateEstimator
 	observed int // ring-relative count of arrivals already fed to est
 
+	// obsDebt counts debt tuples whose arrivals were fed to est before
+	// PopN removed them. Fed tuples are always the oldest prefix of the
+	// debt region (PopN pops the buffer's fed prefix and Credit retires
+	// oldest-first), so a single counter is exact: Credit consumes it as
+	// fed slots retire, and UnpopN uses it to restore `observed` so a
+	// returned tuple is never re-fed to the estimator.
+	obsDebt int
+
 	totalPopped int64
 }
 
@@ -121,6 +129,7 @@ func (q *Queue) Reset(name string) {
 	q.arrivedAt = 0
 	q.producer = nil
 	q.observed = 0
+	q.obsDebt = 0
 	q.totalPopped = 0
 	q.est.Reset()
 }
@@ -294,15 +303,24 @@ func (q *Queue) PopN(now time.Duration, dst []relation.Tuple) int {
 	if first < n {
 		copy(dst[first:], q.tuples[:n-first])
 	}
+	take := q.observed // popped tuples already fed to the estimator
+	if take > n {
+		take = n
+	}
+	// The obsDebt counter relies on fed debt tuples being the oldest
+	// prefix of the debt region. Appending fed tuples behind unfed debt
+	// (only possible if ObserveArrivals ran while an unfed tail from an
+	// earlier PopN was still in debt) would break that, so fail loudly
+	// instead of silently mis-restoring `observed` later.
+	if take > 0 && q.obsDebt < q.debt {
+		panic(fmt.Sprintf("comm: queue %q: bulk pop of observed tuples behind unobserved debt", q.name))
+	}
 	q.head = q.idx(n)
 	q.size -= n
 	q.debt += n
 	q.arrived -= n // Available above guarantees arrived >= n
-	if q.observed > n {
-		q.observed -= n
-	} else {
-		q.observed = 0
-	}
+	q.observed -= take
+	q.obsDebt += take
 	q.totalPopped += int64(n)
 	return n
 }
@@ -322,6 +340,11 @@ func (q *Queue) Credit(now time.Duration) {
 	}
 	q.tuples[i] = nil
 	q.debt--
+	// The oldest debt slot is a fed one whenever any fed debt remains
+	// (fed tuples are the oldest prefix of the debt region).
+	if q.obsDebt > 0 {
+		q.obsDebt--
+	}
 	if q.producer != nil {
 		q.producer.Resume(now)
 	}
@@ -338,6 +361,17 @@ func (q *Queue) UnpopN(n int) {
 	if n > q.debt {
 		panic(fmt.Sprintf("comm: queue %q: unpop %d exceeds debt %d", q.name, n, q.debt))
 	}
+	// Fed tuples are the oldest prefix of the debt region, so of the
+	// newest n being restored, the fed ones are those reaching back past
+	// the unfed tail: n - (debt - obsDebt), clamped at zero. Restoring
+	// them into `observed` keeps the next ObserveArrivals from re-feeding
+	// arrivals the estimator has already absorbed.
+	restoredFed := n - (q.debt - q.obsDebt)
+	if restoredFed < 0 {
+		restoredFed = 0
+	}
+	q.observed += restoredFed
+	q.obsDebt -= restoredFed
 	q.head -= n
 	if q.head < 0 {
 		q.head += q.capacity
@@ -353,6 +387,13 @@ func (q *Queue) UnpopN(n int) {
 // communication manager calls this as the engine's clock advances, so
 // estimation is causal: the CM never peeks at future arrivals. The unseen
 // arrived prefix is handed to the estimator as whole ring segments.
+//
+// The CM calls this between scheduling rounds, when bulk-pop debt is fully
+// settled (every fragment credits or unpops its whole batch before
+// yielding). Observing new arrivals while an unfed debt tail is still
+// outstanding would let a later PopN place fed tuples behind unfed debt,
+// which the fed-prefix accounting cannot represent; PopN panics if that
+// ever happens.
 func (q *Queue) ObserveArrivals(now time.Duration) int {
 	n := q.Available(now)
 	if n <= q.observed {
@@ -373,6 +414,9 @@ func (q *Queue) ObserveArrivals(now time.Duration) int {
 // EstimatedWait returns the current estimate of the mean inter-arrival time
 // (the paper's waiting time w_p) and whether enough observations exist.
 func (q *Queue) EstimatedWait() (time.Duration, bool) { return q.est.Mean() }
+
+// Observations returns the number of arrivals fed to the rate estimator.
+func (q *Queue) Observations() int64 { return q.est.Observations() }
 
 // TotalPopped returns the number of tuples consumed from this queue.
 func (q *Queue) TotalPopped() int64 { return q.totalPopped }

@@ -220,13 +220,19 @@ func (p *refillProducer) Resume(now time.Duration) {
 // popModel is the brute-force reference for the bulk protocol: plain slices
 // for the buffer plus a slice for popped-but-uncredited tuples, scanned end
 // to end, with none of the ring arithmetic, debt accounting, or cache
-// maintenance.
+// maintenance. It also models the rate-estimator feed with an exact
+// per-tuple fed flag (instead of the queue's prefix counters), feeding a
+// reference estimator so the test can prove no arrival is ever skipped or
+// fed twice across PopN/Credit/UnpopN traffic.
 type popModel struct {
 	tuples       []relation.Tuple
 	arrivals     []time.Duration
+	fed          []bool           // arrival already fed to est, parallel to tuples
 	debt         []relation.Tuple // popped, window slot still reserved
 	debtArrivals []time.Duration  // originals, restored verbatim by unpopN
+	debtFed      []bool
 	capacity     int
+	est          *RateEstimator
 }
 
 func (m *popModel) full() bool { return len(m.tuples)+len(m.debt) == m.capacity }
@@ -234,6 +240,7 @@ func (m *popModel) full() bool { return len(m.tuples)+len(m.debt) == m.capacity 
 func (m *popModel) push(t relation.Tuple, at time.Duration) {
 	m.tuples = append(m.tuples, t)
 	m.arrivals = append(m.arrivals, at)
+	m.fed = append(m.fed, false)
 }
 
 func (m *popModel) available(now time.Duration) int {
@@ -255,41 +262,66 @@ func (m *popModel) popN(now time.Duration, max int) []relation.Tuple {
 	out := append([]relation.Tuple(nil), m.tuples[:n]...)
 	m.debt = append(m.debt, out...)
 	m.debtArrivals = append(m.debtArrivals, m.arrivals[:n]...)
+	m.debtFed = append(m.debtFed, m.fed[:n]...)
 	m.tuples = m.tuples[n:]
 	m.arrivals = m.arrivals[n:]
+	m.fed = m.fed[n:]
 	return out
 }
 
 func (m *popModel) credit() {
 	m.debt = m.debt[1:]
 	m.debtArrivals = m.debtArrivals[1:]
+	m.debtFed = m.debtFed[1:]
 }
 
 func (m *popModel) unpopN(n int) {
 	cut := len(m.debt) - n
 	m.tuples = append(append([]relation.Tuple(nil), m.debt[cut:]...), m.tuples...)
 	m.arrivals = append(append([]time.Duration(nil), m.debtArrivals[cut:]...), m.arrivals...)
+	m.fed = append(append([]bool(nil), m.debtFed[cut:]...), m.fed...)
 	m.debt = m.debt[:cut]
 	m.debtArrivals = m.debtArrivals[:cut]
+	m.debtFed = m.debtFed[:cut]
+}
+
+// observeArrivals feeds every buffered, arrived, not-yet-fed arrival to the
+// reference estimator in order — the per-tuple reference semantics of
+// Queue.ObserveArrivals.
+func (m *popModel) observeArrivals(now time.Duration) int {
+	fedCount := 0
+	for i, at := range m.arrivals {
+		if at > now {
+			break
+		}
+		if !m.fed[i] {
+			m.est.Observe(at)
+			m.fed[i] = true
+			fedCount++
+		}
+	}
+	return fedCount
 }
 
 // TestQueuePopNAgreesWithBruteForceModel drives the bulk protocol — PopN
 // with partial-arrival batches, per-tuple Credit with a live producer that
-// refills the window mid-batch, and UnpopN of unprocessed tails — against
-// the brute-force model, requiring tuple-for-tuple agreement at every step.
+// refills the window mid-batch, UnpopN of unprocessed tails, and
+// ObserveArrivals at the debt-settled instants the communication manager
+// uses — against the brute-force model, requiring tuple-for-tuple and
+// estimator-state agreement at every step.
 func TestQueuePopNAgreesWithBruteForceModel(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		rng := rand.New(rand.NewSource(int64(1000 + trial)))
 		capacity := 1 + rng.Intn(9)
 		q := NewQueue("w", capacity)
-		m := &popModel{capacity: capacity}
+		m := &popModel{capacity: capacity, est: NewRateEstimator(defaultEWMAAlpha)}
 		var seq int64
 		prod := &refillProducer{q: q, m: m, rows: 500, seq: &seq}
 		q.SetProducer(prod)
 		var lastArrival, now time.Duration
 		buf := make([]relation.Tuple, capacity+2)
 		for step := 0; step < 2000; step++ {
-			switch op := rng.Intn(6); {
+			switch op := rng.Intn(7); {
 			case op == 0 && !q.Full(): // direct push (initial fill traffic)
 				lastArrival += time.Duration(rng.Intn(5)) * time.Millisecond
 				if lastArrival < prod.lastArrival {
@@ -320,6 +352,10 @@ func TestQueuePopNAgreesWithBruteForceModel(t *testing.T) {
 				n := 1 + rng.Intn(q.Debt())
 				q.UnpopN(n)
 				m.unpopN(n)
+			case op == 5 && q.Debt() == 0: // CM observation at a round boundary
+				if got, want := q.ObserveArrivals(now), m.observeArrivals(now); got != want {
+					t.Fatalf("trial %d step %d: ObserveArrivals fed %d, want %d", trial, step, got, want)
+				}
 			default: // availability probe, sometimes in the past
 				at := now - time.Duration(rng.Intn(8))*time.Millisecond
 				if at < 0 {
@@ -338,6 +374,15 @@ func TestQueuePopNAgreesWithBruteForceModel(t *testing.T) {
 			if q.Full() != m.full() {
 				t.Fatalf("trial %d step %d: Full = %v, want %v", trial, step, q.Full(), m.full())
 			}
+			gotW, gotOK := q.EstimatedWait()
+			wantW, wantOK := m.est.Mean()
+			if gotW != wantW || gotOK != wantOK {
+				t.Fatalf("trial %d step %d: EstimatedWait = %v,%v, want %v,%v",
+					trial, step, gotW, gotOK, wantW, wantOK)
+			}
+			if got, want := q.est.Observations(), m.est.Observations(); got != want {
+				t.Fatalf("trial %d step %d: Observations = %d, want %d", trial, step, got, want)
+			}
 		}
 		// Drain: credit all debt, then pop and credit the remainder, checking
 		// FIFO order survives the wraparound and unpop traffic.
@@ -346,6 +391,9 @@ func TestQueuePopNAgreesWithBruteForceModel(t *testing.T) {
 			m.credit()
 		}
 		now += time.Duration(len(m.tuples)+1) * time.Second
+		if got, want := q.ObserveArrivals(now), m.observeArrivals(now); got != want {
+			t.Fatalf("trial %d drain: ObserveArrivals fed %d, want %d", trial, got, want)
+		}
 		for q.Available(now) > 0 {
 			got := buf[:q.PopN(now, buf[:1])]
 			want := m.popN(now, 1)
@@ -354,6 +402,11 @@ func TestQueuePopNAgreesWithBruteForceModel(t *testing.T) {
 			}
 			q.Credit(now)
 			m.credit()
+		}
+		gotW, gotOK := q.EstimatedWait()
+		wantW, wantOK := m.est.Mean()
+		if gotW != wantW || gotOK != wantOK {
+			t.Fatalf("trial %d drain: EstimatedWait = %v,%v, want %v,%v", trial, gotW, gotOK, wantW, wantOK)
 		}
 	}
 }
@@ -381,6 +434,76 @@ func TestQueuePopNDoesNotResumeUntilCredit(t *testing.T) {
 	}
 	if q.Full() || q.Debt() != 0 {
 		t.Errorf("after credits: Full=%v Debt=%d", q.Full(), q.Debt())
+	}
+}
+
+// TestUnpopNRestoresObservedAccounting pins the estimator bookkeeping of a
+// mid-batch overflow (Fragment.processBulk's PopN → Credit… → UnpopN): an
+// arrival already fed to the rate estimator must not be fed again after its
+// tuple is returned to the buffer, and an arrival that was never fed must
+// still be fed later.
+func TestUnpopNRestoresObservedAccounting(t *testing.T) {
+	push5 := func(q *Queue) {
+		for i := 0; i < 5; i++ {
+			q.Push(relation.Tuple{int64(i)}, ms(10*i))
+		}
+	}
+	buf := make([]relation.Tuple, 5)
+
+	// Fully observed batch: the review's reproduction. All 5 arrivals are
+	// fed before PopN; after two credits and an UnpopN of the remaining 3,
+	// re-observing must feed nothing.
+	q := NewQueue("w", 8)
+	push5(q)
+	if fed := q.ObserveArrivals(ms(100)); fed != 5 {
+		t.Fatalf("initial observation fed %d, want 5", fed)
+	}
+	mean, _ := q.EstimatedWait()
+	if n := q.PopN(ms(100), buf); n != 5 {
+		t.Fatalf("PopN = %d", n)
+	}
+	q.Credit(ms(101))
+	q.Credit(ms(102))
+	q.UnpopN(3)
+	if fed := q.ObserveArrivals(ms(200)); fed != 0 {
+		t.Fatalf("re-observation after UnpopN fed %d duplicates, want 0", fed)
+	}
+	if m, _ := q.EstimatedWait(); m != mean {
+		t.Fatalf("duplicate feed moved the estimate: %v, want %v", m, mean)
+	}
+	if obs := q.est.Observations(); obs != 5 {
+		t.Fatalf("Observations = %d, want 5", obs)
+	}
+
+	// Partially observed batch (the clamped case): only 2 of the 5 popped
+	// arrivals were fed, so the 3 unfed tuples given back by UnpopN must
+	// still be fed exactly once when they are next observed.
+	q = NewQueue("w", 8)
+	push5(q)
+	if fed := q.ObserveArrivals(ms(15)); fed != 2 {
+		t.Fatalf("partial observation fed %d, want 2", fed)
+	}
+	if n := q.PopN(ms(100), buf); n != 5 {
+		t.Fatalf("PopN = %d", n)
+	}
+	q.Credit(ms(101))
+	q.Credit(ms(102))
+	q.UnpopN(3)
+	if fed := q.ObserveArrivals(ms(200)); fed != 3 {
+		t.Fatalf("observation after UnpopN fed %d, want 3", fed)
+	}
+	if obs := q.est.Observations(); obs != 5 {
+		t.Fatalf("Observations = %d, want 5", obs)
+	}
+	// The feed order matched the unbatched path (0,10 then 20,30,40 ms),
+	// so the EWMA over the 10ms gaps is exact.
+	ref := NewRateEstimator(defaultEWMAAlpha)
+	for i := 0; i < 5; i++ {
+		ref.Observe(ms(10 * i))
+	}
+	want, _ := ref.Mean()
+	if m, _ := q.EstimatedWait(); m != want {
+		t.Fatalf("EstimatedWait = %v, want %v", m, want)
 	}
 }
 

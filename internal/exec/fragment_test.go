@@ -269,3 +269,84 @@ func TestPerTupleCostMonotonicInSteps(t *testing.T) {
 		t.Errorf("build terminal %v not above output terminal %v", q, ob)
 	}
 }
+
+// TestOverflowUnpopKeepsEstimatorExact is the differential proof that a
+// mid-batch memory overflow — PopN, a partial run of Credits, then UnpopN
+// of the unprocessed tail — leaves the wrapper's rate estimator in exactly
+// the state the per-tuple reference path produces. The communication
+// manager observes arrivals at every round boundary, as the engine does, so
+// any arrival double-fed (or skipped) around the overflow shows up as a
+// diverging observation count or EWMA mean.
+func TestOverflowUnpopKeepsEstimatorExact(t *testing.T) {
+	type outcome struct {
+		rows  int64
+		obs   int64
+		wait  time.Duration
+		ok    bool
+		clock time.Duration
+	}
+	run := func(perTuple bool) outcome {
+		w := smallFig5(t)
+		cfg := testConfig()
+		// Same tight grant as TestFragmentOverflowSuspendsAndResumes: the
+		// p_A build overflows mid-batch with a large popped backlog, so
+		// UnpopN returns a non-trivial tail of already-observed arrivals.
+		cfg.MemoryBytes = 520 << 10
+		cfg.PerTupleDataflow = perTuple
+		rt, err := NewRuntime(cfg, w.Root, w.Dataset, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cE, _ := rt.Dec.ChainOf("E")
+		drainFrag(t, rt, rt.NewPCFragment(cE))
+		cA, _ := rt.Dec.ChainOf("A")
+		f := rt.NewPCFragment(cA)
+		overflowed := false
+		for !f.Done() {
+			// Round boundary: bulk-pop debt is settled, the CM observes.
+			rt.CM.Observe(rt.Now())
+			n, overflow := f.ProcessBatch(rt.Cfg.BatchTuples)
+			if overflow {
+				if overflowed {
+					t.Fatal("fragment overflowed again after memory was freed")
+				}
+				overflowed = true
+				// Free memory (as a completed prober would) and resume.
+				rt.Mem.Release(60 << 10)
+				continue
+			}
+			if f.Done() {
+				break
+			}
+			if n == 0 {
+				if f.In.Available(rt.Now()) == 0 {
+					if at, ok := f.NextArrival(); ok {
+						rt.Clock.Stall(at)
+					} else if f.In.Exhausted() {
+						f.ProcessBatch(0)
+					}
+				}
+			}
+		}
+		if !overflowed {
+			t.Fatal("fragment did not overflow under the tight grant")
+		}
+		rt.CM.Observe(rt.Now())
+		q, okQ := rt.CM.Queue(rt.cmName("A"))
+		if !okQ {
+			t.Fatal("queue for wrapper A missing")
+		}
+		wait, ok := q.EstimatedWait()
+		return outcome{
+			rows:  rt.TableRows(cA.BuildsFor),
+			obs:   q.Observations(),
+			wait:  wait,
+			ok:    ok,
+			clock: rt.Now(),
+		}
+	}
+	ref, batched := run(true), run(false)
+	if ref != batched {
+		t.Errorf("batched overflow path diverged from per-tuple reference:\nper-tuple: %+v\nbatched:   %+v", ref, batched)
+	}
+}

@@ -188,4 +188,3 @@ func uniformDeliveries(w *workload.Workload, wait time.Duration) map[string]exec
 	}
 	return out
 }
-
