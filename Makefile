@@ -5,13 +5,22 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-update benchsmoke profile
+.PHONY: build fmt vet test race check bench bench-update benchsmoke profile
 
 build:
 	$(GO) build ./...
 
+# Fail on any unformatted file (gofmt -l prints them; empty output = clean).
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# ./... covers the whole module; cmd/ and examples/ are named explicitly so
+# trimming the main pattern can never silently drop the entry points.
 vet:
-	$(GO) vet ./...
+	$(GO) vet ./... ./cmd/... ./examples/...
 
 test:
 	$(GO) test ./...
@@ -22,7 +31,7 @@ PKG ?= ./...
 race:
 	$(GO) test -race $(PKG)
 
-check: build vet race benchsmoke
+check: fmt build vet race benchsmoke
 
 # Run every benchmark once, as a test: catches benchmarks that panic or
 # no longer compile without paying for real measurement iterations.

@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	dqsrun [-strategy SEQ|MA|DSE|SCR] [-small] [-slow REL=RETRIEVAL_SECONDS]...
+//	dqsrun [-strategy NAME] [-small] [-slow REL=RETRIEVAL_SECONDS]...
 //	       [-wmin DUR] [-mem MB] [-bmt F] [-trace] [-gantt] [-seed N]
 //
 // Example: watch DSE degrade the blocked chains while wrapper A crawls,
 // with a Gantt chart of fragment lifetimes:
 //
 //	dqsrun -strategy DSE -small -slow A=2 -gantt
+//
+// The -strategy values come from the scheduling-policy registry, so the
+// flag's help text always lists exactly the runnable strategies.
 package main
 
 import (
@@ -45,8 +48,12 @@ func (s slowFlags) Set(v string) error {
 
 func main() {
 	slow := slowFlags{}
+	names := make([]string, len(dqs.AllStrategies()))
+	for i, s := range dqs.AllStrategies() {
+		names[i] = string(s)
+	}
 	var (
-		strategy = flag.String("strategy", "DSE", "execution strategy: SEQ, MA, DSE or SCR")
+		strategy = flag.String("strategy", "DSE", "execution strategy: "+strings.Join(names, ", "))
 		small    = flag.Bool("small", false, "1/10-scale workload")
 		wmin     = flag.Duration("wmin", 20*time.Microsecond, "baseline per-tuple waiting time of every wrapper")
 		memMB    = flag.Float64("mem", 64, "memory grant in MB")
@@ -110,7 +117,7 @@ func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, tr
 		fmt.Println()
 	}
 	if gantt {
-		if err := traceview.Gantt(os.Stdout, tr, 72); err != nil {
+		if err := traceview.GanttFor(os.Stdout, tr, 72, res.Strategy); err != nil {
 			return err
 		}
 		fmt.Println()

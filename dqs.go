@@ -77,9 +77,71 @@ const (
 // Strategies lists the paper's strategies in presentation order.
 func Strategies() []Strategy { return []Strategy{SEQ, MA, DSE} }
 
-// AllStrategies additionally includes the scrambling and symmetric-join
-// extensions.
-func AllStrategies() []Strategy { return []Strategy{SEQ, MA, DSE, SCR, DPHJ} }
+// AllStrategies lists every registered strategy in registration order: the
+// built-ins (including the scrambling and symmetric-join extensions)
+// followed by policies added with RegisterPolicy.
+func AllStrategies() []Strategy {
+	names := core.StrategyNames()
+	out := make([]Strategy, len(names))
+	for i, n := range names {
+		out[i] = Strategy(n)
+	}
+	return out
+}
+
+// Scheduling-policy extension point. Every built-in strategy is a
+// scheduling policy over one unified batch executor; RegisterPolicy adds
+// your own under a new strategy name, runnable through Run and every other
+// strategy entry point.
+type (
+	// Policy decides which fragments run next at every planning point and
+	// absorbs the interruption events that end execution phases.
+	Policy = core.Policy
+	// PolicyState is the execution state the engine shares with a policy:
+	// clock, attached query runtimes, stalls, cost charging, counters.
+	PolicyState = core.State
+	// PolicyFactory builds a policy once the engine's queries are attached.
+	PolicyFactory = core.PolicyFactory
+	// SchedulingPlan is what a policy hands the executor at each planning
+	// point: the fragments to run and the execution mode of the phase.
+	SchedulingPlan = core.SchedulingPlan
+	// PolicyEvent is one DQP interruption delivered to the policy.
+	PolicyEvent = core.Event
+	// StarvationHandler is an optional policy capability: custom reaction
+	// when every scheduled fragment is starved (scrambling's switch rule).
+	StarvationHandler = core.StarvationHandler
+	// PendingDescriber is an optional policy capability: extra detail for
+	// livelock and no-progress diagnostics.
+	PendingDescriber = core.PendingDescriber
+	// Fragment is the schedulable unit of work (a pipeline-chain segment).
+	Fragment = exec.Fragment
+	// QueryRuntime is one attached query's execution runtime.
+	QueryRuntime = exec.Runtime
+)
+
+// Interruption-event kinds delivered to Policy.OnEvent.
+const (
+	EventSPDone     = core.EventSPDone
+	EventEndOfQF    = core.EventEndOfQF
+	EventRateChange = core.EventRateChange
+	EventTimeout    = core.EventTimeout
+	EventOverflow   = core.EventOverflow
+	EventResched    = core.EventResched
+)
+
+// RegisterPolicy adds a named scheduling policy to the strategy registry.
+// It fails loudly on empty or duplicate names; on success
+// Strategy(name) becomes runnable everywhere a built-in strategy is.
+func RegisterPolicy(name string, factory PolicyFactory) error {
+	return core.RegisterPolicy(name, factory)
+}
+
+// NewPolicy builds a registered strategy's policy over the given state. Use
+// it inside a PolicyFactory to compose with a built-in — delegate planning
+// to it and adjust the plans or the event reactions it produces.
+func NewPolicy(st *PolicyState, strategy Strategy) (Policy, error) {
+	return core.NewPolicy(st, string(strategy))
+}
 
 // DefaultConfig returns the configuration of the paper's experiments.
 func DefaultConfig() Config { return exec.DefaultConfig() }
@@ -120,26 +182,15 @@ func newRuntime(spec RunSpec) (*exec.Runtime, error) {
 	return exec.NewRuntime(spec.Config, spec.Workload.Root, spec.Workload.Dataset, spec.Deliveries)
 }
 
-// Run executes the spec and returns the run summary.
+// Run executes the spec and returns the run summary. The strategy is
+// resolved through the policy registry, so policies added with
+// RegisterPolicy run exactly like the built-ins.
 func Run(spec RunSpec) (Result, error) {
 	rt, err := newRuntime(spec)
 	if err != nil {
 		return Result{}, err
 	}
-	switch spec.Strategy {
-	case SEQ:
-		return exec.RunSEQ(rt)
-	case MA:
-		return exec.RunMA(rt)
-	case DSE:
-		return core.RunDSE(rt)
-	case SCR:
-		return exec.RunScramble(rt)
-	case DPHJ:
-		return exec.RunDPHJ(rt)
-	default:
-		return Result{}, fmt.Errorf("dqs: unknown strategy %q", spec.Strategy)
-	}
+	return core.RunStrategyOn(rt, string(spec.Strategy))
 }
 
 // QueryRun is one query of a concurrent execution.

@@ -1,11 +1,12 @@
 // Adaptivity demonstrates the three delay classes of the paper's §1.2 —
-// initial delay, bursty arrival and slow delivery — comparing the classic
-// iterator model (SEQ), timeout-driven query scrambling (SCR) and the
-// paper's dynamic scheduling (DSE). Scrambling helps only when delays are
-// long enough to trip its timeout (initial delays); DSE reacts instantly to
-// data availability and monitors delivery rates (RateChange events), so it
-// also hides repeated short delays — the slow-delivery case scrambling
-// cannot touch.
+// initial delay, bursty arrival and slow delivery — comparing every
+// registered scheduling strategy. Scrambling (SCR) helps only when delays
+// are long enough to trip its timeout (initial delays); the paper's dynamic
+// scheduling (DSE) reacts instantly to data availability and monitors
+// delivery rates (RateChange events), so it also hides repeated short
+// delays — the slow-delivery case scrambling cannot touch. The strategy
+// list comes from the policy registry, so a strategy added with
+// dqs.RegisterPolicy joins the comparison automatically.
 package main
 
 import (
@@ -27,7 +28,7 @@ func scenario(name string, mutate func(map[string]dqs.Delivery)) {
 	mutate(deliveries)
 
 	fmt.Printf("--- %s ---\n", name)
-	for _, s := range []dqs.Strategy{dqs.SEQ, dqs.SCR, dqs.DSE} {
+	for _, s := range dqs.AllStrategies() {
 		cfg := dqs.DefaultConfig()
 		tr := &sim.Trace{}
 		cfg.Trace = tr

@@ -86,7 +86,7 @@ func TestDSEMatchesSEQOutputAndDoesNotLose(t *testing.T) {
 	for _, wait := range []time.Duration{20 * time.Microsecond, 100 * time.Microsecond} {
 		del := uniform(w, 20*time.Microsecond)
 		del["A"] = exec.Delivery{MeanWait: wait}
-		seqRes, err := exec.RunSEQ(newRT(t, w, testConfig(), del))
+		seqRes, err := RunStrategyOn(newRT(t, w, testConfig(), del), "SEQ")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +168,7 @@ func TestDSEWithoutDegradationStillInterleaves(t *testing.T) {
 	if dse.Degradations != 0 {
 		t.Fatalf("degradation fired despite bmt=inf")
 	}
-	seq, err := exec.RunSEQ(newRT(t, w, cfg, del))
+	seq, err := RunStrategyOn(newRT(t, w, cfg, del), "SEQ")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestChainStateSplitAndAdvance(t *testing.T) {
 	rt := newRT(t, w, testConfig(), nil)
 	e := NewEngine(rt)
 	var cs *chainState
-	for _, s := range e.states {
+	for _, s := range e.pol.(*dsePolicy).states {
 		if s.chain.Scan.Rel.Name == "F" { // two probe steps
 			cs = s
 		}
@@ -281,7 +281,7 @@ func TestSplitActivePanicsOnMisuse(t *testing.T) {
 	w := smallFig5(t)
 	rt := newRT(t, w, testConfig(), nil)
 	e := NewEngine(rt)
-	cs := e.states[0]
+	cs := e.pol.(*dsePolicy).states[0]
 	defer func() {
 		if recover() == nil {
 			t.Error("out-of-range split did not panic")

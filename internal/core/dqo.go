@@ -23,7 +23,7 @@ func errInsufficientMemory(label string, grant int64) error {
 // bounded by the requirement that the tail become M-schedulable; with hash
 // tables pre-built by ancestor chains the binding constraint is the tail's
 // build). It returns false when no split can help.
-func (e *Engine) splitForMemory(cs *chainState) bool {
+func (p *dsePolicy) splitForMemory(cs *chainState) bool {
 	rt := cs.rt
 	seg := cs.active()
 	if seg == nil || seg.started() {
@@ -54,8 +54,8 @@ func (e *Engine) splitForMemory(cs *chainState) bool {
 // additionally, the DQO tries to free memory structurally by splitting the
 // chain that will probe the overflowing table: its head part probes (and
 // then releases) the tables below the blocked join (§4.2).
-func (e *Engine) handleOverflow(f *exec.Fragment) {
-	cs := e.stateOf[f.Chain]
+func (p *dsePolicy) handleOverflow(f *exec.Fragment) {
+	cs := p.stateOf[f.Chain]
 	rt := cs.rt
 	cs.memSuspended = true
 	cs.suspendAvail = rt.Mem.Available()
@@ -65,7 +65,7 @@ func (e *Engine) handleOverflow(f *exec.Fragment) {
 		return
 	}
 	blocked := f.Chain.BuildsFor
-	prober := e.proberOf[blocked]
+	prober := p.proberOf[blocked]
 	if prober == nil {
 		return
 	}

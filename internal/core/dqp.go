@@ -8,34 +8,40 @@ import (
 	"dqs/internal/sim"
 )
 
-// eventKind classifies DQP interruption events (§3.2).
-type eventKind int
-
-const (
-	// evSPDone: every fragment of the scheduling plan terminated.
-	evSPDone eventKind = iota
-	// evEndOfQF: one query fragment terminated (normal interruption).
-	evEndOfQF
-	// evRateChange: the CM detected a significant delivery-rate change.
-	evRateChange
-	// evTimeout: every scheduled fragment starved past the timeout.
-	evTimeout
-	// evOverflow: a fragment exhausted the memory grant.
-	evOverflow
-)
-
-type event struct {
-	kind    eventKind
-	frag    *exec.Fragment
-	wrapper string
+// nextArrival returns the earliest next input arrival among the unfinished
+// fragments. It is the hot stall primitive of the phase loop, shared with
+// State.NextArrival.
+func nextArrival(frags []*exec.Fragment) (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, f := range frags {
+		if f.Done() {
+			continue
+		}
+		if at, ok := f.NextArrival(); ok && (!found || at < best) {
+			best, found = at, true
+		}
+	}
+	return best, found
 }
 
-// processPhase is one DQP execution phase (§3.2): process batches from the
-// highest-priority fragment that has data, falling down the priority list on
-// data gaps and returning to the top after every batch. It returns the
-// interruption event that ends the phase.
-func (e *Engine) processPhase(sp []*exec.Fragment) event {
+// processPhase is one DQP execution phase (§3.2) over an arbitrary policy's
+// scheduling plan. In priority mode it processes batches from the
+// highest-priority fragment that has data, falling down the priority list
+// on data gaps and returning to the top after every batch; in round-robin
+// mode it sweeps the plan processing one batch from every runnable
+// fragment per pass (the materialization discipline of MA's phase 1). It
+// returns the interruption event that ends the phase; the error is
+// non-nil only when the policy's starvation handler failed.
+func (e *Engine) processPhase(sp SchedulingPlan) (Event, error) {
+	if sp.RoundRobin {
+		return e.processRoundRobin(sp)
+	}
 	med := e.med
+	starve, _ := e.pol.(StarvationHandler)
+	// window is the effective plan: Sticky plans narrow it to end at the
+	// last fragment a batch was processed from.
+	window := sp.Frags
 	var lastNow time.Duration = -1
 	spins := 0
 	for {
@@ -44,7 +50,7 @@ func (e *Engine) processPhase(sp []*exec.Fragment) event {
 			spins++
 			if spins > 1_000_000 {
 				var detail string
-				for _, f := range sp {
+				for _, f := range window {
 					at, ok := f.NextArrival()
 					detail += fmt.Sprintf(" [%s done=%v runnable=%v avail=%d exhausted=%v next=%v,%v]",
 						f.Label, f.Done(), f.Runnable(now), f.In.Available(now), f.In.Exhausted(), at, ok)
@@ -54,27 +60,32 @@ func (e *Engine) processPhase(sp []*exec.Fragment) event {
 		} else {
 			lastNow, spins = now, 0
 		}
-		med.CM.Observe(now)
-		if w := med.CM.RateChanged(); w != "" {
-			if med.Trace.Enabled() {
-				med.Trace.Add(now, sim.EvRateChange, "delivery rate of %s changed", w)
+		if sp.ObserveRates {
+			med.CM.Observe(now)
+			if w := med.CM.RateChanged(); w != "" {
+				if med.Trace.Enabled() {
+					med.Trace.Add(now, sim.EvRateChange, "delivery rate of %s changed", w)
+				}
+				return Event{Kind: EventRateChange, Wrapper: w, Window: window}, nil
 			}
-			return event{kind: evRateChange, wrapper: w}
 		}
 		acted := false
 		alldone := true
-		for _, f := range sp {
+		for i, f := range window {
 			if f.Done() {
 				continue
 			}
 			alldone = false
 			if f.Runnable(now) {
+				if sp.Sticky {
+					window = window[:i+1]
+				}
 				_, overflow := f.ProcessBatch(med.Cfg.BatchTuples)
 				if overflow {
-					return event{kind: evOverflow, frag: f}
+					return Event{Kind: EventOverflow, Frag: f, Window: window}, nil
 				}
 				if f.Done() {
-					return event{kind: evEndOfQF, frag: f}
+					return Event{Kind: EventEndOfQF, Frag: f, Window: window}, nil
 				}
 				acted = true
 				break // return to the highest-priority queue
@@ -84,7 +95,7 @@ func (e *Engine) processPhase(sp []*exec.Fragment) event {
 				pendingBefore := f.PendingOutputs()
 				f.ProcessBatch(0)
 				if f.Done() {
-					return event{kind: evEndOfQF, frag: f}
+					return Event{Kind: EventEndOfQF, Frag: f, Window: window}, nil
 				}
 				if f.PendingOutputs() < pendingBefore {
 					// Finalization sank stranded output: that is progress,
@@ -97,45 +108,79 @@ func (e *Engine) processPhase(sp []*exec.Fragment) event {
 			}
 		}
 		if alldone {
-			return event{kind: evSPDone}
+			return Event{Kind: EventSPDone, Window: window}, nil
 		}
 		if acted {
 			continue
 		}
-		// Every scheduled fragment is starved: the engine stalls until the
-		// earliest arrival, or reports a timeout for the DQO.
-		next, ok := e.nextArrival(sp)
+		// Every fragment of the window is starved. A policy with its own
+		// starvation reaction (scrambling) takes over here; otherwise the
+		// engine stalls until the earliest arrival, or reports a timeout.
+		if starve != nil {
+			eff := sp
+			eff.Frags = window
+			resched, err := starve.OnStarved(e.st, eff)
+			if err != nil {
+				return Event{}, err
+			}
+			if resched {
+				return Event{Kind: EventResched, Window: window}, nil
+			}
+			continue
+		}
+		next, ok := nextArrival(window)
 		if !ok {
 			// No future arrivals on any scheduled fragment; the remaining
 			// fragments must be able to finish without input.
-			return event{kind: evSPDone}
+			return Event{Kind: EventSPDone, Window: window}, nil
 		}
-		if next-now > med.Cfg.Timeout {
+		if sp.Timeout > 0 && next-now > sp.Timeout {
 			if med.Trace.Enabled() {
 				med.Trace.Add(now, sim.EvTimeout, "all scheduled fragments starved (next arrival %.3fs away)",
 					(next - now).Seconds())
 			}
-			return event{kind: evTimeout}
+			return Event{Kind: EventTimeout, Window: window}, nil
 		}
-		if med.Trace.Enabled() {
+		if sp.TraceStalls && med.Trace.Enabled() {
 			med.Trace.Add(now, sim.EvStall, "stall %.6fs", (next - now).Seconds())
 		}
 		med.Clock.Stall(next)
 	}
 }
 
-// nextArrival returns the earliest next input arrival among the unfinished
-// fragments of the plan.
-func (e *Engine) nextArrival(sp []*exec.Fragment) (time.Duration, bool) {
-	var best time.Duration
-	found := false
-	for _, f := range sp {
-		if f.Done() {
-			continue
+// processRoundRobin is the materialization sweep of MA phase 1: one batch
+// from every runnable fragment per pass, stalling to the earliest arrival
+// when a full pass made no progress. Fragment completions do not interrupt
+// the phase; it ends only when every fragment is done (or has no future
+// arrival) or on overflow.
+func (e *Engine) processRoundRobin(sp SchedulingPlan) (Event, error) {
+	med := e.med
+	for {
+		progressed := false
+		alldone := true
+		for _, f := range sp.Frags {
+			if f.Done() {
+				continue
+			}
+			alldone = false
+			if f.Runnable(med.Now()) {
+				if _, overflow := f.ProcessBatch(med.Cfg.BatchTuples); overflow {
+					return Event{Kind: EventOverflow, Frag: f, Window: sp.Frags}, nil
+				}
+				progressed = true
+			}
 		}
-		if at, ok := f.NextArrival(); ok && (!found || at < best) {
-			best, found = at, true
+		if alldone {
+			return Event{Kind: EventSPDone, Window: sp.Frags}, nil
+		}
+		if !progressed {
+			// Every unfinished wrapper is quiet: stall to the earliest
+			// arrival, or end the phase when no arrival is ever coming.
+			next, ok := e.st.NextArrival(sp)
+			if !ok {
+				return Event{Kind: EventSPDone, Window: sp.Frags}, nil
+			}
+			med.Clock.Stall(next)
 		}
 	}
-	return best, found
 }

@@ -7,6 +7,12 @@ import (
 	"dqs/internal/exec"
 )
 
+// dsePlan wraps fragments in the execution mode the DSE policy uses: rate
+// observation, the configured timeout and stall tracing.
+func dsePlan(cfg exec.Config, frags ...*exec.Fragment) SchedulingPlan {
+	return SchedulingPlan{Frags: frags, ObserveRates: true, Timeout: cfg.Timeout, TraceStalls: true}
+}
+
 // TestProcessPhaseFallsThroughPriorities drives one DQP execution phase
 // directly: the scheduling plan puts a starved chain first and a flowing
 // chain second; the DQP must do the second chain's work during the first
@@ -15,29 +21,36 @@ func TestProcessPhaseFallsThroughPriorities(t *testing.T) {
 	w := smallFig5(t)
 	del := uniform(w, 10*time.Microsecond)
 	del["E"] = exec.Delivery{MeanWait: 10 * time.Microsecond, InitialDelay: 300 * time.Millisecond}
-	rt := newRT(t, w, testConfig(), del)
+	cfg := testConfig()
+	rt := newRT(t, w, cfg, del)
 	e := NewEngine(rt)
 
 	cE, _ := rt.Dec.ChainOf("E")
 	cD, _ := rt.Dec.ChainOf("D")
 	fE := rt.NewPCFragment(cE) // starved for 300ms
 	fD := rt.NewPCFragment(cD) // flowing immediately
-	ev := e.processPhase([]*exec.Fragment{fE, fD})
-	if ev.kind != evEndOfQF {
-		t.Fatalf("event = %v, want EndOfQF", ev.kind)
+	ev, err := e.processPhase(dsePlan(cfg, fE, fD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != EventEndOfQF {
+		t.Fatalf("event = %v, want EndOfQF", ev.Kind)
 	}
 	// The first completion must be p_D: it finishes (~0.2s of data) while
 	// p_E has not even started delivering.
-	if ev.frag != fD {
-		t.Fatalf("first finished fragment = %s, want p_D", ev.frag.Label)
+	if ev.Frag != fD {
+		t.Fatalf("first finished fragment = %s, want p_D", ev.Frag.Label)
 	}
 	if fD.Processed() == 0 || fE.Processed() != 0 {
 		t.Errorf("processed: D=%d E=%d; want D>0, E=0", fD.Processed(), fE.Processed())
 	}
 	// Finish the phase: p_E completes next.
-	ev = e.processPhase([]*exec.Fragment{fE, fD})
-	if ev.kind != evEndOfQF || ev.frag != fE {
-		t.Fatalf("second event = %v/%v, want EndOfQF(p_E)", ev.kind, ev.frag)
+	ev, err = e.processPhase(dsePlan(cfg, fE, fD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != EventEndOfQF || ev.Frag != fE {
+		t.Fatalf("second event = %v/%v, want EndOfQF(p_E)", ev.Kind, ev.Frag)
 	}
 }
 
@@ -49,13 +62,17 @@ func TestProcessPhaseStallsWhenAllStarved(t *testing.T) {
 	del := uniform(w, 10*time.Microsecond)
 	del["E"] = exec.Delivery{MeanWait: 10 * time.Microsecond, InitialDelay: 100 * time.Millisecond}
 	del["D"] = exec.Delivery{MeanWait: 10 * time.Microsecond, InitialDelay: 150 * time.Millisecond}
-	rt := newRT(t, w, testConfig(), del)
+	cfg := testConfig()
+	rt := newRT(t, w, cfg, del)
 	e := NewEngine(rt)
 	cE, _ := rt.Dec.ChainOf("E")
 	cD, _ := rt.Dec.ChainOf("D")
-	ev := e.processPhase([]*exec.Fragment{rt.NewPCFragment(cE), rt.NewPCFragment(cD)})
-	if ev.kind != evEndOfQF {
-		t.Fatalf("event = %v", ev.kind)
+	ev, err := e.processPhase(dsePlan(cfg, rt.NewPCFragment(cE), rt.NewPCFragment(cD)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != EventEndOfQF {
+		t.Fatalf("event = %v", ev.Kind)
 	}
 	if rt.Clock.Idle() < 99*time.Millisecond {
 		t.Errorf("idle time %v, want ≈100ms of stalling before the first arrival", rt.Clock.Idle())
@@ -73,9 +90,12 @@ func TestProcessPhaseTimeout(t *testing.T) {
 	rt := newRT(t, w, cfg, del)
 	e := NewEngine(rt)
 	cE, _ := rt.Dec.ChainOf("E")
-	ev := e.processPhase([]*exec.Fragment{rt.NewPCFragment(cE)})
-	if ev.kind != evTimeout {
-		t.Fatalf("event = %v, want TimeOut", ev.kind)
+	ev, err := e.processPhase(dsePlan(cfg, rt.NewPCFragment(cE)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != EventTimeout {
+		t.Fatalf("event = %v, want TimeOut", ev.Kind)
 	}
 }
 
@@ -93,7 +113,7 @@ func TestScheduleOrdersByCriticalDegree(t *testing.T) {
 	// Let the CM observe both wrappers for a while.
 	rt.Clock.Stall(200 * time.Millisecond)
 	rt.CM.Observe(rt.Now())
-	sp, err := e.schedule()
+	sp, err := e.pol.(*dsePolicy).schedule(e.st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +135,7 @@ func TestScheduleCreatesMFForBlockedCriticalChain(t *testing.T) {
 	w := smallFig5(t)
 	rt := newRT(t, w, testConfig(), uniform(w, 20*time.Microsecond))
 	e := NewEngine(rt)
-	sp, err := e.schedule()
+	sp, err := e.pol.(*dsePolicy).schedule(e.st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +162,7 @@ func TestScheduleSkipsDegradationBelowBMT(t *testing.T) {
 	cfg.BMT = 10
 	rt := newRT(t, w, cfg, uniform(w, 20*time.Microsecond))
 	e := NewEngine(rt)
-	sp, err := e.schedule()
+	sp, err := e.pol.(*dsePolicy).schedule(e.st)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,10 +22,10 @@ import (
 // priority. An empty plan with work remaining is resolved by the DQO
 // (memory split or optimistic scheduling) or reported as an error by the
 // caller.
-func (e *Engine) schedule() ([]*exec.Fragment, error) {
-	med := e.med
+func (p *dsePolicy) schedule(st *State) ([]*exec.Fragment, error) {
+	med := st.Mediator()
 	// Lift memory suspensions once the grant has visibly grown.
-	for _, cs := range e.states {
+	for _, cs := range p.states {
 		if cs.memSuspended && med.Mem.Available() > cs.suspendAvail {
 			cs.memSuspended = false
 		}
@@ -37,7 +37,7 @@ func (e *Engine) schedule() ([]*exec.Fragment, error) {
 		prio time.Duration
 	}
 	var cands []cand
-	for _, cs := range e.states {
+	for _, cs := range p.states {
 		seg := cs.active()
 		if seg == nil || cs.memSuspended {
 			continue
@@ -51,7 +51,7 @@ func (e *Engine) schedule() ([]*exec.Fragment, error) {
 				continue
 			}
 		}
-		if !e.tablesComplete(cs, seg) {
+		if !p.tablesComplete(cs, seg) {
 			// Degradation consideration (§4.4): only plain, never-started,
 			// never-degraded full PCs qualify.
 			if cs.degraded || len(cs.segs) != 1 || seg.started() {
@@ -88,7 +88,7 @@ func (e *Engine) schedule() ([]*exec.Fragment, error) {
 		if cands[i].prio != cands[j].prio {
 			return cands[i].prio > cands[j].prio
 		}
-		di, dj := e.descendants[cands[i].cs.chain], e.descendants[cands[j].cs.chain]
+		di, dj := p.descendants[cands[i].cs.chain], p.descendants[cands[j].cs.chain]
 		if di != dj {
 			return di > dj
 		}
@@ -104,7 +104,7 @@ func (e *Engine) schedule() ([]*exec.Fragment, error) {
 	var skippedTop *cand
 	for i := range cands {
 		c := &cands[i]
-		add := e.estAdd(c.cs.rt, c.frag)
+		add := p.estAdd(c.cs.rt, c.frag)
 		if add <= avail {
 			sp = append(sp, c.frag)
 			avail -= add
@@ -117,8 +117,8 @@ func (e *Engine) schedule() ([]*exec.Fragment, error) {
 	if len(sp) == 0 && skippedTop != nil {
 		// Nothing fits: ask the DQO for a memory-repair split of the most
 		// critical candidate, then re-plan.
-		if e.splitForMemory(skippedTop.cs) {
-			return e.schedule()
+		if p.splitForMemory(skippedTop.cs) {
+			return p.schedule(st)
 		}
 		// No split can help according to the *estimates* — but estimates
 		// can be wrong (§1: inaccurate statistics). Schedule the top
@@ -127,7 +127,7 @@ func (e *Engine) schedule() ([]*exec.Fragment, error) {
 		// detected when no suspended fragment can ever resume.
 		med.Trace.Add(med.Now(), sim.EvMemRepair,
 			"optimistic schedule of %s (estimated need %d > available %d)",
-			skippedTop.frag.Label, e.estAdd(skippedTop.cs.rt, skippedTop.frag), med.Mem.Available())
+			skippedTop.frag.Label, p.estAdd(skippedTop.cs.rt, skippedTop.frag), med.Mem.Available())
 		sp = append(sp, skippedTop.frag)
 	}
 	return sp, nil
@@ -136,7 +136,7 @@ func (e *Engine) schedule() ([]*exec.Fragment, error) {
 // estAdd estimates the additional memory a fragment will reserve: the
 // remaining growth of its terminal build table. Materializing and
 // output-terminated fragments consume no accountable memory.
-func (e *Engine) estAdd(rt *exec.Runtime, f *exec.Fragment) int64 {
+func (p *dsePolicy) estAdd(rt *exec.Runtime, f *exec.Fragment) int64 {
 	if f.Term != exec.TermBuild {
 		return 0
 	}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dqs/internal/exec"
+	"dqs/internal/plan"
+	"dqs/internal/sim"
+)
+
+// dsePolicy is the paper's contribution expressed as a scheduling policy:
+// the dynamic query scheduler (DQS, §4) plans fragments by critical degree
+// with §4.4 degradation, and the memory-repair part of the dynamic QEP
+// optimizer (DQO, §4.2) absorbs overflow events. Driving several runtimes
+// makes it the multi-query engine of §6: all queries' fragments compete in
+// one scheduling plan under the global critical-degree order.
+type dsePolicy struct {
+	states []*chainState
+
+	stateOf map[*plan.Chain]*chainState
+	// proberOf maps a join node to the chain state that probes it.
+	proberOf map[*plan.Node]*chainState
+	// descendants is the number of chains transitively blocked by each
+	// chain (tie-breaking toward enabling more downstream work).
+	descendants map[*plan.Chain]int
+
+	// byRuntime groups chain states per query, for completion tracking.
+	byRuntime map[*exec.Runtime][]*chainState
+}
+
+// NewDSEPolicy builds the paper's dynamic scheduling policy over the
+// state's attached queries. It is the default entry of the policy registry
+// under the name "DSE".
+func NewDSEPolicy(st *State) (Policy, error) {
+	p := &dsePolicy{
+		stateOf:     make(map[*plan.Chain]*chainState),
+		proberOf:    make(map[*plan.Node]*chainState),
+		descendants: make(map[*plan.Chain]int),
+		byRuntime:   make(map[*exec.Runtime][]*chainState),
+	}
+	for _, rt := range st.Runtimes() {
+		for _, c := range rt.Dec.Chains {
+			cs := &chainState{
+				rt:    rt,
+				chain: c,
+				segs:  []*segSpec{{fromStep: 0, toStep: len(c.Joins)}},
+			}
+			p.states = append(p.states, cs)
+			p.stateOf[c] = cs
+			p.byRuntime[rt] = append(p.byRuntime[rt], cs)
+			for _, j := range c.Joins {
+				p.proberOf[j] = cs
+			}
+			p.descendants[c] = len(rt.Dec.Descendants(c))
+		}
+	}
+	return p, nil
+}
+
+func (p *dsePolicy) Name() string { return "DSE" }
+
+// Done reports whether every chain of every query has terminated.
+func (p *dsePolicy) Done(st *State) bool {
+	for _, cs := range p.states {
+		if !cs.complete {
+			return false
+		}
+	}
+	return true
+}
+
+// tablesComplete reports whether every hash table probed by the segment is
+// fully built.
+func (p *dsePolicy) tablesComplete(cs *chainState, seg *segSpec) bool {
+	for i := seg.fromStep; i < seg.toStep; i++ {
+		if !cs.rt.TableComplete(cs.chain.Joins[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Plan is one DQS planning phase: it computes the scheduling plan via
+// schedule (§4.5), resolves empty plans (memory infeasibility), and
+// snapshots the CM estimates the plan was built from.
+func (p *dsePolicy) Plan(st *State) (SchedulingPlan, error) {
+	med := st.Mediator()
+	sp, err := p.schedule(st)
+	if err != nil {
+		return SchedulingPlan{}, err
+	}
+	if len(sp) == 0 {
+		for _, cs := range p.states {
+			if cs.memSuspended {
+				return SchedulingPlan{}, errInsufficientMemory(cs.chain.Name, med.Mem.Total())
+			}
+		}
+		return SchedulingPlan{}, fmt.Errorf("core: no schedulable work but %s", p.PendingSummary())
+	}
+	med.CountReplan()
+	med.Trace.Add(med.Now(), sim.EvSchedule, "SP = [%s]", spLabels(sp))
+	med.CM.SnapshotPlanned(func(string) time.Duration { return med.Cfg.InitialWaitEstimate })
+	return SchedulingPlan{
+		Frags:        sp,
+		ObserveRates: true,
+		Timeout:      med.Cfg.Timeout,
+		TraceStalls:  true,
+	}, nil
+}
+
+// OnEvent absorbs the DQP interruption that ended the phase: completions
+// advance chains past their finished segments, overflows invoke the DQO,
+// timeouts wait out the delay, rate changes simply trigger replanning.
+func (p *dsePolicy) OnEvent(st *State, ev Event) error {
+	med := st.Mediator()
+	switch ev.Kind {
+	case EventEndOfQF, EventSPDone:
+		p.advanceFinished(st)
+	case EventRateChange:
+		// Replanning with the fresh estimates happens at the next planning
+		// point.
+	case EventTimeout:
+		med.CountTimeout()
+		// The full re-optimization of scrambling phase 2 is the DQO's job
+		// in the paper; without a re-optimizer the engine waits out the
+		// delay and replans.
+		if next, ok := st.NextArrival(st.CurrentPlan()); ok {
+			med.Clock.Stall(next)
+		} else {
+			return fmt.Errorf("core: timeout with no future arrivals")
+		}
+	case EventOverflow:
+		p.handleOverflow(ev.Frag)
+		p.advanceFinished(st)
+	}
+	return nil
+}
+
+// advanceFinished moves every chain whose active fragment has completed to
+// its next segment, and records query completion times.
+func (p *dsePolicy) advanceFinished(st *State) {
+	for _, cs := range p.states {
+		for {
+			seg := cs.active()
+			if seg == nil || seg.frag == nil || !seg.frag.Done() {
+				break
+			}
+			cs.advance()
+		}
+	}
+	for rt, chains := range p.byRuntime {
+		finished := true
+		for _, cs := range chains {
+			if !cs.complete {
+				finished = false
+				break
+			}
+		}
+		if finished {
+			st.MarkQueryDone(rt)
+		}
+	}
+}
+
+// PendingSummary describes unfinished chains for diagnostics.
+func (p *dsePolicy) PendingSummary() string {
+	var parts []string
+	for _, cs := range p.states {
+		if !cs.complete {
+			parts = append(parts, fmt.Sprintf("%s%s(seg %d/%d)",
+				prefixLabel(cs.rt.Label), cs.chain.Name, cs.cur+1, len(cs.segs)))
+		}
+	}
+	return "pending: " + strings.Join(parts, ", ")
+}

@@ -7,35 +7,47 @@ import (
 	"time"
 
 	"dqs/internal/exec"
-	"dqs/internal/plan"
-	"dqs/internal/sim"
 )
 
-// Engine is the dynamic query engine of §3: it interleaves DQS planning
-// phases with DQP execution phases until every attached query's root chain
-// has produced all its results, adapting the schedule to observed delivery
-// rates and to the memory grant. One engine can drive several queries on a
+// Engine is the unified executor of §3: it interleaves the active policy's
+// planning phases with DQP execution phases until the policy reports every
+// attached query complete. The DQP batch loop, stalls, interruption events
+// and finalization are strategy-agnostic; everything strategy-specific —
+// which fragments run next, in what discipline, and how interruptions are
+// absorbed — lives in the Policy. One engine can drive several queries on a
 // shared mediator (the paper's §6 multi-query direction): their fragments
-// compete in one scheduling plan under the global critical-degree order.
+// compete in one scheduling plan.
 type Engine struct {
-	med    *exec.Mediator
-	rts    []*exec.Runtime
-	states []*chainState
-
-	stateOf map[*plan.Chain]*chainState
-	// proberOf maps a join node to the chain state that probes it.
-	proberOf map[*plan.Node]*chainState
-	// descendants is the number of chains transitively blocked by each
-	// chain (tie-breaking toward enabling more downstream work).
-	descendants map[*plan.Chain]int
-
-	// byRuntime groups chain states per query, and completedAt records
-	// when each query finished.
-	byRuntime   map[*exec.Runtime][]*chainState
-	completedAt map[*exec.Runtime]time.Duration
+	med *exec.Mediator
+	st  *State
+	pol Policy
 }
 
-// NewEngine prepares a dynamic engine over a fresh single-query runtime.
+// NewPolicyEngine prepares an engine driving the given query runtimes on
+// the shared mediator under the policy the factory builds.
+func NewPolicyEngine(med *exec.Mediator, rts []*exec.Runtime, factory PolicyFactory) (*Engine, error) {
+	if len(rts) == 0 {
+		return nil, fmt.Errorf("core: no runtimes")
+	}
+	for _, rt := range rts {
+		if rt.Med != med {
+			return nil, fmt.Errorf("core: runtime %q is not attached to the engine's mediator", rt.Label)
+		}
+	}
+	st := &State{
+		med:         med,
+		rts:         rts,
+		completedAt: make(map[*exec.Runtime]time.Duration),
+	}
+	pol, err := factory(st)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{med: med, st: st, pol: pol}, nil
+}
+
+// NewEngine prepares a dynamic (DSE) engine over a fresh single-query
+// runtime.
 func NewEngine(rt *exec.Runtime) *Engine {
 	e, err := NewMultiEngine(rt.Med, []*exec.Runtime{rt})
 	if err != nil {
@@ -44,103 +56,21 @@ func NewEngine(rt *exec.Runtime) *Engine {
 	return e
 }
 
-// NewMultiEngine prepares an engine driving every given query runtime on
-// the shared mediator.
+// NewMultiEngine prepares a dynamic (DSE) engine driving every given query
+// runtime on the shared mediator.
 func NewMultiEngine(med *exec.Mediator, rts []*exec.Runtime) (*Engine, error) {
-	if len(rts) == 0 {
-		return nil, fmt.Errorf("core: no runtimes")
-	}
-	e := &Engine{
-		med:         med,
-		rts:         rts,
-		stateOf:     make(map[*plan.Chain]*chainState),
-		proberOf:    make(map[*plan.Node]*chainState),
-		descendants: make(map[*plan.Chain]int),
-		byRuntime:   make(map[*exec.Runtime][]*chainState),
-		completedAt: make(map[*exec.Runtime]time.Duration),
-	}
-	for _, rt := range rts {
-		if rt.Med != med {
-			return nil, fmt.Errorf("core: runtime %q is not attached to the engine's mediator", rt.Label)
-		}
-		for _, c := range rt.Dec.Chains {
-			cs := &chainState{
-				rt:    rt,
-				chain: c,
-				segs:  []*segSpec{{fromStep: 0, toStep: len(c.Joins)}},
-			}
-			e.states = append(e.states, cs)
-			e.stateOf[c] = cs
-			e.byRuntime[rt] = append(e.byRuntime[rt], cs)
-			for _, j := range c.Joins {
-				e.proberOf[j] = cs
-			}
-			e.descendants[c] = len(rt.Dec.Descendants(c))
-		}
-	}
-	return e, nil
+	return NewPolicyEngine(med, rts, NewDSEPolicy)
 }
 
-// tablesComplete reports whether every hash table probed by the segment is
-// fully built.
-func (e *Engine) tablesComplete(cs *chainState, seg *segSpec) bool {
-	for i := seg.fromStep; i < seg.toStep; i++ {
-		if !cs.rt.TableComplete(cs.chain.Joins[i]) {
-			return false
-		}
-	}
-	return true
-}
-
-// allComplete reports whether every chain of every query has terminated.
-func (e *Engine) allComplete() bool {
-	for _, cs := range e.states {
-		if !cs.complete {
-			return false
-		}
-	}
-	return true
-}
-
-// advanceFinished moves every chain whose active fragment has completed to
-// its next segment, and records query completion times.
-func (e *Engine) advanceFinished() {
-	for _, cs := range e.states {
-		for {
-			seg := cs.active()
-			if seg == nil || seg.frag == nil || !seg.frag.Done() {
-				break
-			}
-			cs.advance()
-		}
-	}
-	for rt, chains := range e.byRuntime {
-		if _, done := e.completedAt[rt]; done {
-			continue
-		}
-		finished := true
-		for _, cs := range chains {
-			if !cs.complete {
-				finished = false
-				break
-			}
-		}
-		if finished {
-			e.completedAt[rt] = e.med.Now()
-			e.med.Trace.Add(e.med.Now(), sim.EvPhase, "query %q complete", rt.Label)
-		}
-	}
-}
-
-// Run executes the attached queries with dynamic scheduling and returns the
-// per-query results in attachment order. For a single query this is the
-// DSE strategy of §5.
+// Run executes the attached queries under the engine's policy and returns
+// the per-query results in attachment order.
 func (e *Engine) Run() ([]exec.Result, error) {
 	med := e.med
 	// Livelock guard: scheduling rounds that advance neither virtual time
-	// nor any progress counter indicate an engine bug; fail loudly with
-	// diagnostics instead of spinning. The marker is a comparable struct, not
-	// a formatted string: the guard runs every round, so it must not allocate.
+	// nor any progress counter indicate an engine or policy bug; fail loudly
+	// with diagnostics instead of spinning. The marker is a comparable
+	// struct, not a formatted string: the guard runs every round, so it must
+	// not allocate.
 	type progressMark struct {
 		now        time.Duration
 		memUsed    int64
@@ -148,7 +78,7 @@ func (e *Engine) Run() ([]exec.Result, error) {
 	}
 	var lastProgress progressMark
 	stuckRounds := 0
-	for !e.allComplete() {
+	for !e.pol.Done(e.st) {
 		progress := progressMark{now: med.Now(), memUsed: med.Mem.Used(), diskWrites: med.Disk.Stats().Writes}
 		if progress == lastProgress {
 			stuckRounds++
@@ -159,70 +89,46 @@ func (e *Engine) Run() ([]exec.Result, error) {
 			lastProgress = progress
 			stuckRounds = 0
 		}
-		sp, err := e.schedule()
+		sp, err := e.pol.Plan(e.st)
 		if err != nil {
 			return nil, err
 		}
-		if len(sp) == 0 {
-			if e.allComplete() {
-				break
-			}
-			for _, cs := range e.states {
-				if cs.memSuspended {
-					return nil, errInsufficientMemory(cs.chain.Name, med.Mem.Total())
-				}
-			}
-			return nil, fmt.Errorf("core: no schedulable work but %s", e.pendingSummary())
+		if len(sp.Frags) == 0 {
+			return nil, fmt.Errorf("core: policy %s planned no work with queries unfinished; %s",
+				e.pol.Name(), e.pendingSummary())
 		}
-		med.CountReplan()
+		e.st.lastPlan = sp
 		if debugSchedule {
-			fmt.Printf("DBG t=%v used=%d SP=[%s]\n", med.Now(), med.Mem.Used(), spLabels(sp))
+			fmt.Printf("DBG t=%v used=%d SP=[%s]\n", med.Now(), med.Mem.Used(), spLabels(sp.Frags))
 		}
-		med.Trace.Add(med.Now(), sim.EvSchedule, "SP = [%s]", spLabels(sp))
-		med.CM.SnapshotPlanned(func(string) time.Duration { return med.Cfg.InitialWaitEstimate })
-
-		ev := e.processPhase(sp)
-		switch ev.kind {
-		case evEndOfQF, evSPDone:
-			e.advanceFinished()
-		case evRateChange:
-			// Replanning with the fresh estimates happens on loop re-entry.
-		case evTimeout:
-			med.CountTimeout()
-			// The full re-optimization of scrambling phase 2 is the DQO's
-			// job in the paper; without a re-optimizer the engine waits out
-			// the delay and replans.
-			if next, ok := e.nextArrival(sp); ok {
-				med.Clock.Stall(next)
-			} else {
-				return nil, fmt.Errorf("core: timeout with no future arrivals")
-			}
-		case evOverflow:
-			e.handleOverflow(ev.frag)
-			e.advanceFinished()
+		ev, err := e.processPhase(sp)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.pol.OnEvent(e.st, ev); err != nil {
+			return nil, err
 		}
 	}
-	results := make([]exec.Result, 0, len(e.rts))
-	for _, rt := range e.rts {
-		at, ok := e.completedAt[rt]
+	results := make([]exec.Result, 0, len(e.st.rts))
+	for _, rt := range e.st.rts {
+		at, ok := e.st.completedAt[rt]
 		if !ok {
 			at = med.Now()
 		}
-		results = append(results, rt.FinishAt("DSE", at))
+		results = append(results, rt.FinishAt(e.pol.Name(), at))
 	}
 	return results, nil
 }
 
-// pendingSummary describes unfinished chains for diagnostics.
+// pendingSummary describes the stuck engine for diagnostics: the active
+// policy, the current scheduling plan, and whatever per-strategy detail the
+// policy can add.
 func (e *Engine) pendingSummary() string {
-	var parts []string
-	for _, cs := range e.states {
-		if !cs.complete {
-			parts = append(parts, fmt.Sprintf("%s%s(seg %d/%d)",
-				prefixLabel(cs.rt.Label), cs.chain.Name, cs.cur+1, len(cs.segs)))
-		}
+	s := fmt.Sprintf("policy %s, plan [%s]", e.pol.Name(), spLabels(e.st.lastPlan.Frags))
+	if d, ok := e.pol.(PendingDescriber); ok {
+		s += "; " + d.PendingSummary()
 	}
-	return "pending: " + strings.Join(parts, ", ")
+	return s
 }
 
 func prefixLabel(label string) string {

@@ -121,26 +121,17 @@ func TestStarWorkloadAllStrategiesAgree(t *testing.T) {
 	for _, name := range w.Catalog.Names() {
 		del[name] = exec.Delivery{MeanWait: 30 * time.Microsecond}
 	}
-	runs := []struct {
-		name string
-		f    func(*exec.Runtime) (exec.Result, error)
-	}{
-		{"SEQ", exec.RunSEQ},
-		{"MA", exec.RunMA},
-		{"SCR", exec.RunScramble},
-		{"DSE", RunDSE},
-	}
-	for _, r := range runs {
+	for _, name := range []string{"SEQ", "MA", "SCR", "DSE"} {
 		rt, err := exec.NewRuntime(testConfig(), w.Root, w.Dataset, del)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := r.f(rt)
+		res, err := RunStrategyOn(rt, name)
 		if err != nil {
-			t.Fatalf("%s: %v", r.name, err)
+			t.Fatalf("%s: %v", name, err)
 		}
 		if res.OutputRows != want {
-			t.Errorf("%s produced %d rows, reference says %d", r.name, res.OutputRows, want)
+			t.Errorf("%s produced %d rows, reference says %d", name, res.OutputRows, want)
 		}
 	}
 }

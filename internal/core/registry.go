@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dqs/internal/exec"
+)
+
+// PolicyFactory builds a scheduling policy over freshly attached execution
+// state. The factory is invoked once per engine, after the runtimes are
+// attached, so it can inspect the queries it will schedule.
+type PolicyFactory func(st *State) (Policy, error)
+
+// strategyEntry is one registered strategy: either a policy factory for the
+// unified executor, or — for strategies that do not decompose into
+// fragment scheduling (the operator-level DPHJ reaction) — a standalone
+// single-query runner.
+type strategyEntry struct {
+	name    string
+	factory PolicyFactory
+	runner  func(rt *exec.Runtime) (exec.Result, error)
+}
+
+var (
+	strategies    []strategyEntry
+	strategyIndex = map[string]int{}
+)
+
+func register(e strategyEntry) error {
+	if e.name == "" {
+		return fmt.Errorf("core: policy name must be non-empty")
+	}
+	if _, dup := strategyIndex[e.name]; dup {
+		return fmt.Errorf("core: policy %q already registered", e.name)
+	}
+	strategyIndex[e.name] = len(strategies)
+	strategies = append(strategies, e)
+	return nil
+}
+
+func mustRegister(e strategyEntry) {
+	if err := register(e); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	mustRegister(strategyEntry{name: "SEQ", factory: NewSeqPolicy})
+	mustRegister(strategyEntry{name: "MA", factory: NewMAPolicy})
+	mustRegister(strategyEntry{name: "DSE", factory: NewDSEPolicy})
+	mustRegister(strategyEntry{name: "SCR", factory: NewScramblePolicy})
+	mustRegister(strategyEntry{name: "DPHJ", runner: exec.RunDPHJ})
+}
+
+// RegisterPolicy adds a named scheduling policy to the strategy registry,
+// making it runnable through every strategy entry point (dqs.Run, the
+// experiment harness, dqsrun -strategy). It fails loudly on empty or
+// duplicate names.
+func RegisterPolicy(name string, factory PolicyFactory) error {
+	if factory == nil {
+		return fmt.Errorf("core: policy %q has a nil factory", name)
+	}
+	return register(strategyEntry{name: name, factory: factory})
+}
+
+// NewPolicy builds the named registered strategy's policy over st. It is the
+// composition hook for wrapper policies (delegate planning to a built-in and
+// adjust the plan); runner-only strategies cannot be composed this way.
+func NewPolicy(st *State, name string) (Policy, error) {
+	i, ok := strategyIndex[name]
+	if !ok {
+		return nil, errUnknownStrategy(name)
+	}
+	if strategies[i].factory == nil {
+		return nil, fmt.Errorf("core: strategy %s is not a scheduling policy", name)
+	}
+	return strategies[i].factory(st)
+}
+
+// StrategyNames lists every registered strategy in registration order (the
+// built-ins first, then user registrations).
+func StrategyNames() []string {
+	names := make([]string, len(strategies))
+	for i, e := range strategies {
+		names[i] = e.name
+	}
+	return names
+}
+
+// errUnknownStrategy lists the registered strategies so callers see what is
+// available at every dispatch site.
+func errUnknownStrategy(name string) error {
+	return fmt.Errorf("core: unknown strategy %q (registered: %s)",
+		name, strings.Join(StrategyNames(), ", "))
+}
+
+// RunStrategy executes the attached queries under the named registered
+// strategy and returns per-query results in attachment order. This is the
+// single dispatch point every entry point routes through.
+func RunStrategy(med *exec.Mediator, rts []*exec.Runtime, name string) ([]exec.Result, error) {
+	i, ok := strategyIndex[name]
+	if !ok {
+		return nil, errUnknownStrategy(name)
+	}
+	e := strategies[i]
+	if e.runner != nil {
+		if len(rts) != 1 {
+			return nil, fmt.Errorf("core: strategy %s runs single queries only (%d given)", name, len(rts))
+		}
+		return runnerResults(e.runner(rts[0]))
+	}
+	eng, err := NewPolicyEngine(med, rts, e.factory)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// RunStrategyOn executes a single query runtime under the named registered
+// strategy.
+func RunStrategyOn(rt *exec.Runtime, name string) (exec.Result, error) {
+	results, err := RunStrategy(rt.Med, []*exec.Runtime{rt}, name)
+	if err != nil {
+		return exec.Result{}, err
+	}
+	return results[0], nil
+}
+
+func runnerResults(res exec.Result, err error) ([]exec.Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []exec.Result{res}, nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"dqs/internal/exec"
+	"dqs/internal/sim"
+)
+
+// scrPolicy is phase-1 query scrambling (§1.2) as a scheduling policy: the
+// classic iterator engine augmented with a timeout reaction. The plan is
+// the iterator-order prefix of instantiated, unfinished chains up to the
+// current one, in Sticky mode — the executor processes the current chain,
+// resumes a suspended earlier chain the moment its data arrives (exactly
+// the scrambling engine's resume rule: lowest index first, and everything
+// above the resumed tree stays suspended). When the whole window starves
+// for longer than ScrambleTimeout, the starvation handler fires a
+// scrambling step: suspend the current tree (paying the switch overhead of
+// saving its in-flight state) and activate another runnable,
+// C-schedulable chain.
+//
+// The paper's two criticisms are both visible in this implementation: the
+// timeout must fully elapse (idle) before any reaction, so repeated
+// sub-timeout gaps (slow delivery) degrade SCR to SEQ; and a delayed
+// *last* chain leaves nothing to scramble to (§1.2's "no more work to
+// scramble").
+type scrPolicy struct {
+	order []chainRef
+	frags []*exec.Fragment // nil until the chain is C-schedulable
+
+	cur       int // index in order of the chain the engine works on
+	scrambles int
+}
+
+// NewScramblePolicy builds the query-scrambling policy; registry name
+// "SCR".
+func NewScramblePolicy(st *State) (Policy, error) {
+	p := &scrPolicy{order: iteratorChains(st), cur: -1}
+	p.frags = make([]*exec.Fragment, len(p.order))
+	return p, nil
+}
+
+func (p *scrPolicy) Name() string { return "SCR" }
+
+func (p *scrPolicy) Done(st *State) bool {
+	for _, f := range p.frags {
+		if f == nil || !f.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// tablesReady reports C-schedulability: every hash table the chain probes
+// is fully built.
+func (p *scrPolicy) tablesReady(c chainRef) bool {
+	for _, j := range c.chain.Joins {
+		if !c.rt.TableComplete(j) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *scrPolicy) Plan(st *State) (SchedulingPlan, error) {
+	// Instantiate fragments as chains become C-schedulable. Tables only
+	// complete when a building fragment finishes, which always ends the
+	// execution phase, so checking at planning points loses nothing.
+	for i, c := range p.order {
+		if p.frags[i] == nil && p.tablesReady(c) {
+			p.frags[i] = c.rt.NewPCFragment(c.chain)
+		}
+	}
+	// The engine works on the earliest unfinished instantiated chain unless
+	// a scrambling step moved it elsewhere.
+	if p.cur < 0 || p.frags[p.cur] == nil || p.frags[p.cur].Done() {
+		p.cur = -1
+		for i := range p.order {
+			if p.frags[i] != nil && !p.frags[i].Done() {
+				p.cur = i
+				break
+			}
+		}
+		if p.cur < 0 {
+			return SchedulingPlan{}, fmt.Errorf("core: scrambling found no schedulable chain")
+		}
+	}
+	// The window: suspended earlier chains (resume candidates) and the
+	// current chain. Chains the engine scrambled away from sit above cur
+	// and stay suspended until cur finishes or another scrambling step.
+	var frags []*exec.Fragment
+	for i := 0; i <= p.cur; i++ {
+		if p.frags[i] != nil && !p.frags[i].Done() {
+			frags = append(frags, p.frags[i])
+		}
+	}
+	return SchedulingPlan{Frags: frags, Sticky: true}, nil
+}
+
+// indexOf maps a fragment back to its chain-order index.
+func (p *scrPolicy) indexOf(f *exec.Fragment) int {
+	for i := range p.frags {
+		if p.frags[i] == f {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *scrPolicy) OnEvent(st *State, ev Event) error {
+	switch ev.Kind {
+	case EventOverflow:
+		return fmt.Errorf("%w (fragment %s)", exec.ErrMemoryExceeded, ev.Frag.Label)
+	case EventEndOfQF, EventSPDone:
+		// Re-sync cur with the executor: resuming an earlier chain moves the
+		// engine's attention permanently down to it.
+		if n := len(ev.Window); n > 0 {
+			if i := p.indexOf(ev.Window[n-1]); i >= 0 {
+				p.cur = i
+			}
+		}
+	}
+	return nil
+}
+
+// OnStarved is the scrambling reaction (§1.2): every chain of the window —
+// the current one and all resume candidates — is out of data.
+func (p *scrPolicy) OnStarved(st *State, sp SchedulingPlan) (bool, error) {
+	med := st.Mediator()
+	f := sp.Frags[len(sp.Frags)-1] // the chain the engine is working on
+	arrival, ok := f.NextArrival()
+	if !ok {
+		return false, fmt.Errorf("core: fragment %s starved with no future arrivals", f.Label)
+	}
+	now := st.Now()
+	if arrival-now <= med.Cfg.ScrambleTimeout {
+		// Data returns before the timeout would fire: scrambling never
+		// reacts, exactly like SEQ.
+		st.StallUntil(arrival)
+		return false, nil
+	}
+	// Timeout: the engine idled the full timeout before reacting.
+	st.StallUntil(now + med.Cfg.ScrambleTimeout)
+	cur := p.indexOf(f)
+	alt := -1
+	for i := range p.order {
+		if i == cur || p.frags[i] == nil || p.frags[i].Done() {
+			continue
+		}
+		if p.frags[i].Runnable(st.Now()) {
+			alt = i
+			break
+		}
+	}
+	if alt < 0 {
+		// Nothing to scramble to (the paper's "last accessed source"
+		// failure case): wait out the delay.
+		med.Trace.Add(st.Now(), sim.EvTimeout, "scramble found no alternative to %s", f.Label)
+		st.StallUntil(arrival)
+		return false, nil
+	}
+	// Scrambling step: suspend the current tree, activate another.
+	p.scrambles++
+	st.CountReplan()
+	st.ChargeInstructions(med.Cfg.ScrambleSwitchInstr)
+	med.Trace.Add(st.Now(), sim.EvSchedule, "scramble step %d: %s -> %s",
+		p.scrambles, f.Label, p.frags[alt].Label)
+	p.cur = alt
+	return true, nil
+}

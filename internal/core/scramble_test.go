@@ -1,23 +1,19 @@
-package exec
+package core
 
 import (
 	"testing"
 	"time"
 
+	"dqs/internal/exec"
 	"dqs/internal/reftest"
-	"dqs/internal/workload"
 )
+
+// Query-scrambling behaviour tests, driving the SCR policy through the
+// registry (the production path).
 
 func TestScrambleMatchesReference(t *testing.T) {
 	w := smallFig5(t)
-	rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, uniform(w, 10*time.Microsecond))
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := RunScramble(rt)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runStrategyOn(t, newRT(t, w, testConfig(), uniform(w, 10*time.Microsecond)), "SCR")
 	if want := reftest.Count(w.Root, w.Dataset); res.OutputRows != want {
 		t.Errorf("SCR produced %d rows, reference says %d", res.OutputRows, want)
 	}
@@ -29,15 +25,9 @@ func TestScrambleMatchesReference(t *testing.T) {
 func TestScrambleEqualsSEQUnderSlowDelivery(t *testing.T) {
 	w := smallFig5(t)
 	del := uniform(w, 20*time.Microsecond)
-	del["A"] = Delivery{MeanWait: 500 * time.Microsecond} // slow but sub-timeout gaps
-	scr, err := RunScramble(mustRT(t, w, testConfig(), del))
-	if err != nil {
-		t.Fatal(err)
-	}
-	seq, err := RunSEQ(mustRT(t, w, testConfig(), del))
-	if err != nil {
-		t.Fatal(err)
-	}
+	del["A"] = exec.Delivery{MeanWait: 500 * time.Microsecond} // slow but sub-timeout gaps
+	scr := runStrategyOn(t, newRT(t, w, testConfig(), del), "SCR")
+	seq := runStrategyOn(t, newRT(t, w, testConfig(), del), "SEQ")
 	if scr.ResponseTime != seq.ResponseTime {
 		t.Errorf("SCR (%v) != SEQ (%v) under slow delivery", scr.ResponseTime, seq.ResponseTime)
 	}
@@ -54,15 +44,9 @@ func TestScrambleBeatsSEQOnInitialDelay(t *testing.T) {
 	del := uniform(w, 20*time.Microsecond)
 	// D is consumed first by the iterator order; delay it so SEQ sits
 	// idle while every other wrapper has work ready.
-	del["D"] = Delivery{MeanWait: 20 * time.Microsecond, InitialDelay: 2 * time.Second}
-	scr, err := RunScramble(mustRT(t, w, testConfig(), del))
-	if err != nil {
-		t.Fatal(err)
-	}
-	seq, err := RunSEQ(mustRT(t, w, testConfig(), del))
-	if err != nil {
-		t.Fatal(err)
-	}
+	del["D"] = exec.Delivery{MeanWait: 20 * time.Microsecond, InitialDelay: 2 * time.Second}
+	scr := runStrategyOn(t, newRT(t, w, testConfig(), del), "SCR")
+	seq := runStrategyOn(t, newRT(t, w, testConfig(), del), "SEQ")
 	if scr.Replans == 0 {
 		t.Fatal("initial delay did not trigger scrambling")
 	}
@@ -81,37 +65,13 @@ func TestScrambleLastSourceFailureCase(t *testing.T) {
 	w := smallFig5(t)
 	del := uniform(w, 20*time.Microsecond)
 	// C feeds the root chain, which runs last in the iterator order.
-	del["C"] = Delivery{MeanWait: 20 * time.Microsecond, InitialDelay: 2 * time.Second}
-	scr, err := RunScramble(mustRT(t, w, testConfig(), del))
-	if err != nil {
-		t.Fatal(err)
-	}
-	seq, err := RunSEQ(mustRT(t, w, testConfig(), del))
-	if err != nil {
-		t.Fatal(err)
-	}
+	del["C"] = exec.Delivery{MeanWait: 20 * time.Microsecond, InitialDelay: 2 * time.Second}
+	scr := runStrategyOn(t, newRT(t, w, testConfig(), del), "SCR")
+	seq := runStrategyOn(t, newRT(t, w, testConfig(), del), "SEQ")
 	// SCR cannot do better than SEQ here (nothing to overlap with by the
 	// time C's delay matters).
 	if scr.ResponseTime < seq.ResponseTime-time.Millisecond {
 		t.Errorf("SCR (%v) unexpectedly beat SEQ (%v) with the last source delayed",
 			scr.ResponseTime, seq.ResponseTime)
 	}
-}
-
-// TestScrambleStepDuration documents the fixed cost of one reaction.
-func TestScrambleStepDuration(t *testing.T) {
-	cfg := testConfig()
-	want := cfg.ScrambleTimeout + cfg.Params.InstrTime(cfg.ScrambleSwitchInstr)
-	if got := scrambleStepDuration(cfg); got != want {
-		t.Errorf("scrambleStepDuration = %v, want %v", got, want)
-	}
-}
-
-func mustRT(t *testing.T, w *workload.Workload, cfg Config, del map[string]Delivery) *Runtime {
-	t.Helper()
-	rt, err := NewRuntime(cfg, w.Root, w.Dataset, del)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return rt
 }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"dqs/internal/exec"
+	"dqs/internal/plan"
+)
+
+// chainRef is one pipeline chain together with the runtime that owns it —
+// the unit the static policies iterate over. With several attached queries
+// the static policies simply concatenate the queries' chain orders.
+type chainRef struct {
+	rt    *exec.Runtime
+	chain *plan.Chain
+}
+
+// iteratorChains lists the chains of every attached query in the classic
+// iterator-model order (open/next/close, §2.3), query after query.
+func iteratorChains(st *State) []chainRef {
+	var order []chainRef
+	for _, rt := range st.Runtimes() {
+		for _, c := range exec.IteratorOrder(rt.Dec) {
+			order = append(order, chainRef{rt: rt, chain: c})
+		}
+	}
+	return order
+}
+
+// seqPolicy is the paper's SEQ baseline as a scheduling policy: the classic
+// iterator model drains pipeline chains strictly one after another, the
+// engine stalling whenever the current chain's wrapper has not delivered.
+// Every plan is a single fragment; starvation uses the executor's default
+// silent stall (no timeout, no rate observation — the static engine never
+// reacts to delivery problems).
+type seqPolicy struct {
+	order []chainRef
+	idx   int            // next chain to instantiate
+	cur   *exec.Fragment // chain being drained
+}
+
+// NewSeqPolicy builds the static iterator-model policy; registry name "SEQ".
+func NewSeqPolicy(st *State) (Policy, error) {
+	return &seqPolicy{order: iteratorChains(st)}, nil
+}
+
+func (p *seqPolicy) Name() string { return "SEQ" }
+
+func (p *seqPolicy) Done(st *State) bool {
+	return p.idx >= len(p.order) && p.cur != nil && p.cur.Done()
+}
+
+func (p *seqPolicy) Plan(st *State) (SchedulingPlan, error) {
+	for p.cur == nil || p.cur.Done() {
+		if p.idx >= len(p.order) {
+			return SchedulingPlan{}, fmt.Errorf("core: SEQ planned past the last chain")
+		}
+		next := p.order[p.idx]
+		p.idx++
+		p.cur = next.rt.NewPCFragment(next.chain)
+	}
+	return SchedulingPlan{Frags: []*exec.Fragment{p.cur}}, nil
+}
+
+func (p *seqPolicy) OnEvent(st *State, ev Event) error {
+	if ev.Kind == EventOverflow {
+		// The static strategies cannot adapt to memory overflow; the paper's
+		// experiments assume sufficient memory for them.
+		return fmt.Errorf("%w (fragment %s)", exec.ErrMemoryExceeded, ev.Frag.Label)
+	}
+	return nil
+}

@@ -54,7 +54,7 @@ func TestDPHJDoublesMemoryFootprint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := RunSEQ(rtA)
+	seq, err := runSEQ(rtA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestDPHJAbsorbsAnySourceDelay(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		seq, err := RunSEQ(rt2)
+		seq, err := runSEQ(rt2)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,13 +1,11 @@
 package exec
 
 import (
-	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"dqs/internal/plan"
-	"dqs/internal/reftest"
 	"dqs/internal/relation"
 	"dqs/internal/sim"
 	"dqs/internal/workload"
@@ -115,159 +113,10 @@ func TestIteratorOrderFig5(t *testing.T) {
 	}
 }
 
-func TestSEQMatchesReferenceEvaluator(t *testing.T) {
-	w := smallFig5(t)
-	rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := RunSEQ(rt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := reftest.Count(w.Root, w.Dataset)
-	if res.OutputRows != want {
-		t.Errorf("SEQ produced %d rows, reference says %d", res.OutputRows, want)
-	}
-	if res.OutputRows == 0 {
-		t.Error("empty result")
-	}
-}
-
-func TestAllStrategiesMatchReferenceOnRandomWorkloads(t *testing.T) {
-	for seed := int64(1); seed <= 6; seed++ {
-		w, err := workload.Random(sim.NewRNG(seed), workload.DefaultRandomSpec())
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		want := reftest.Count(w.Root, w.Dataset)
-		run := func(name string, f func(*Runtime) (Result, error)) {
-			cfg := testConfig()
-			cfg.Seed = seed
-			rt, err := NewRuntime(cfg, w.Root, w.Dataset, uniform(w, 10*time.Microsecond))
-			if err != nil {
-				t.Fatalf("seed %d %s: %v", seed, name, err)
-			}
-			res, err := f(rt)
-			if err != nil {
-				t.Fatalf("seed %d %s: %v", seed, name, err)
-			}
-			if res.OutputRows != want {
-				t.Errorf("seed %d: %s produced %d rows, reference says %d", seed, name, res.OutputRows, want)
-			}
-		}
-		run("SEQ", RunSEQ)
-		run("MA", RunMA)
-	}
-}
-
-func TestSEQDeterminism(t *testing.T) {
-	w := smallFig5(t)
-	del := uniform(w, 20*time.Microsecond)
-	var first Result
-	for i := 0; i < 2; i++ {
-		rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, del)
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := RunSEQ(rt)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if i == 0 {
-			first = res
-		} else if res != first {
-			t.Errorf("same seed produced different results:\n%v\n%v", first, res)
-		}
-	}
-}
-
-func TestSEQResponseGrowsWithSlowdown(t *testing.T) {
-	w := smallFig5(t)
-	var prev time.Duration
-	for i, wait := range []time.Duration{20 * time.Microsecond, 60 * time.Microsecond, 120 * time.Microsecond} {
-		del := uniform(w, 20*time.Microsecond)
-		del["A"] = Delivery{MeanWait: wait}
-		rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, del)
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := RunSEQ(rt)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if i > 0 && res.ResponseTime <= prev {
-			t.Errorf("slowdown %v did not increase SEQ response (%v <= %v)", wait, res.ResponseTime, prev)
-		}
-		prev = res.ResponseTime
-	}
-}
-
-func TestLWBNeverExceedsAnyStrategy(t *testing.T) {
-	w := smallFig5(t)
-	for _, wait := range []time.Duration{0, 20 * time.Microsecond, 100 * time.Microsecond} {
-		del := uniform(w, wait)
-		var lwb time.Duration
-		{
-			rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, del)
-			if err != nil {
-				t.Fatal(err)
-			}
-			lwb = LWB(rt)
-		}
-		for _, s := range []struct {
-			name string
-			f    func(*Runtime) (Result, error)
-		}{{"SEQ", RunSEQ}, {"MA", RunMA}} {
-			rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, del)
-			if err != nil {
-				t.Fatal(err)
-			}
-			res, err := s.f(rt)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if res.ResponseTime < lwb {
-				t.Errorf("w=%v: %s (%v) beats LWB (%v)", wait, s.name, res.ResponseTime, lwb)
-			}
-		}
-	}
-}
-
-func TestMAMaterializesEverything(t *testing.T) {
-	w := smallFig5(t)
-	rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, uniform(w, 10*time.Microsecond))
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := RunMA(rt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var total int64
-	for _, tab := range w.Dataset {
-		total += int64(tab.Len())
-	}
-	if res.MaterializedTuples != total {
-		t.Errorf("MA materialized %d tuples, want all %d", res.MaterializedTuples, total)
-	}
-	if res.Disk.Writes == 0 || res.Disk.Reads == 0 {
-		t.Errorf("MA did no I/O: %+v", res.Disk)
-	}
-}
-
-func TestSEQFailsOnTinyMemory(t *testing.T) {
-	w := smallFig5(t)
-	cfg := testConfig()
-	cfg.MemoryBytes = 64 << 10
-	rt, err := NewRuntime(cfg, w.Root, w.Dataset, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := RunSEQ(rt); !errors.Is(err, ErrMemoryExceeded) {
-		t.Errorf("SEQ under tiny grant: err = %v, want ErrMemoryExceeded", err)
-	}
-}
+// The strategy-level behaviour tests (reference-result equality,
+// determinism, LWB bounds, memory-failure modes) live in package core next
+// to the scheduling policies; the tests here cover the execution machinery
+// itself.
 
 // predWorkload builds a tiny two-relation catalog and dataset with a join
 // column over domain 100, for predicate-pushdown tests.

@@ -113,7 +113,7 @@ func TestEstimationErrorsReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunSEQ(rt)
+	res, err := runSEQ(rt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestEstimationErrorsReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := RunSEQ(rt2)
+	res2, err := runSEQ(rt2)
 	if err != nil {
 		t.Fatal(err)
 	}

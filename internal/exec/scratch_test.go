@@ -38,8 +38,8 @@ func runPooled(t *testing.T, s *Scratch, strategy func(*Runtime) (Result, error)
 // has been cycled) yields exactly the Result of an unpooled run.
 func TestScratchReuseIsBitIdentical(t *testing.T) {
 	strategies := map[string]func(*Runtime) (Result, error){
-		"SEQ":  RunSEQ,
-		"MA":   RunMA,
+		"SEQ":  runSEQ,
+		"MA":   runMA,
 		"DPHJ": RunDPHJ,
 	}
 	s := NewScratch()
@@ -72,12 +72,12 @@ func TestScratchReuseSurvivesMemoryOverflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunMA(rt); err == nil {
+	if _, err := runMA(rt); err == nil {
 		t.Fatal("expected memory overflow with a 64KiB grant")
 	}
 	rt.Med.Reclaim()
-	fresh := runPooled(t, nil, RunMA, 0)
-	pooled := runPooled(t, s, RunMA, 0)
+	fresh := runPooled(t, nil, runMA, 0)
+	pooled := runPooled(t, s, runMA, 0)
 	if !reflect.DeepEqual(fresh, pooled) {
 		t.Errorf("pooled run after overflow diverged:\nfresh:  %+v\npooled: %+v", fresh, pooled)
 	}
@@ -97,7 +97,7 @@ func TestMediatorReclaimTwiceIsSafe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunSEQ(rt); err != nil {
+	if _, err := runSEQ(rt); err != nil {
 		t.Fatal(err)
 	}
 	rt.Med.Reclaim()

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"errors"
-	"fmt"
 
 	"dqs/internal/plan"
 )
@@ -43,36 +42,8 @@ func IteratorOrder(dec *plan.Decomposition) []*plan.Chain {
 	return order
 }
 
-// RunSEQ executes the plan with the classic iterator model: pipeline chains
-// strictly one after another, the engine stalling whenever the current
-// chain's wrapper has not delivered. This is the paper's SEQ baseline.
-func RunSEQ(rt *Runtime) (Result, error) {
-	for _, c := range IteratorOrder(rt.Dec) {
-		f := rt.NewPCFragment(c)
-		if err := drain(rt, f); err != nil {
-			return Result{}, err
-		}
-	}
-	return rt.Finish("SEQ"), nil
-}
-
-// drain runs a single fragment to completion, stalling on data gaps.
-func drain(rt *Runtime, f *Fragment) error {
-	for !f.Done() {
-		n, overflow := f.ProcessBatch(rt.Cfg.BatchTuples)
-		if overflow {
-			return fmt.Errorf("%w (fragment %s)", ErrMemoryExceeded, f.Label)
-		}
-		if f.Done() {
-			return nil
-		}
-		if n == 0 {
-			at, ok := f.NextArrival()
-			if !ok {
-				return fmt.Errorf("exec: fragment %s starved with no future arrivals", f.Label)
-			}
-			rt.Clock.Stall(at)
-		}
-	}
-	return nil
-}
+// The strategy engines themselves live in package core: every strategy —
+// SEQ, MA, SCR, DSE — is a scheduling policy over the unified DQP
+// executor (see core.Policy). This package keeps the strategy-neutral
+// building blocks they share: fragments, the iterator order, and the
+// memory-exceeded sentinel.

@@ -54,7 +54,7 @@ func TestResultStringAndTotalWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunMA(rt)
+	res, err := runMA(rt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"dqs/internal/exec"
+)
+
+// updateGoldens refreshes the committed strategy goldens. The goldens pin
+// the exact per-run results and figure bytes across refactors of the
+// execution engine: regenerate them only for a deliberate, explained
+// behaviour change.
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite testdata strategy goldens")
+
+// goldenStrategies are the fragment-scheduling strategies whose behaviour
+// the policy-kernel refactor must preserve bit for bit.
+var goldenStrategies = []string{"SEQ", "MA", "SCR", "DSE"}
+
+// TestStrategyResultsMatchGolden pins the full Result of every strategy ×
+// seed × delay class against the committed pre-refactor golden: any change
+// to scheduling order, stall instants or counters shows up as a diff in
+// some field of some run.
+func TestStrategyResultsMatchGolden(t *testing.T) {
+	o := Options{Small: true}
+	cfg := exec.DefaultConfig()
+	classes := dataflowDeliveries(cfg, o)
+	classNames := make([]string, 0, len(classes))
+	for name := range classes {
+		classNames = append(classNames, name)
+	}
+	sort.Strings(classNames)
+
+	var buf bytes.Buffer
+	for _, class := range classNames {
+		mk := classes[class]
+		for _, strategy := range goldenStrategies {
+			for _, seed := range []int64{1, 2, 3} {
+				w, err := o.loadWorkload(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := cfg
+				c.Seed = seed
+				res, err := runStrategy(w, c, mk(w), strategy)
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: %v", class, strategy, seed, err)
+				}
+				// Every Result field is spelled out: the golden must catch a
+				// drift in any counter, not only the String() summary.
+				fmt.Fprintf(&buf,
+					"%s/%s/seed%d: strat=%s resp=%d busy=%d idle=%d out=%d disk=%+v peak=%d mat=%d replans=%d degr=%d timeouts=%d memrep=%d maxerr=%.9f\n",
+					class, strategy, seed, res.Strategy,
+					res.ResponseTime.Nanoseconds(), res.BusyTime.Nanoseconds(), res.IdleTime.Nanoseconds(),
+					res.OutputRows, res.Disk, res.PeakMemBytes, res.MaterializedTuples,
+					res.Replans, res.Degradations, res.Timeouts, res.MemRepairs, res.MaxEstError)
+			}
+		}
+	}
+	compareGolden(t, "strategy_results.golden", buf.Bytes())
+}
+
+// TestDelayClassesFigureMatchesGolden pins the rendered DelayClasses figure
+// (SEQ, SCR, DPHJ and DSE under every delay class, 3 seeds) byte for byte.
+func TestDelayClassesFigureMatchesGolden(t *testing.T) {
+	o := Options{Small: true, Seeds: []int64{1, 2, 3}}
+	fig, err := DelayClasses(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fig.Print(&buf)
+	buf.WriteString(fig.CSV())
+	compareGolden(t, "delayclasses_small.golden", buf.Bytes())
+}
+
+// TestDelayClassesFigureGoldenAtHighParallelism re-renders the figure on an
+// 8-worker pool against the same golden: the policy refactor must stay
+// byte-identical at any -parallel setting, not only serially.
+func TestDelayClassesFigureGoldenAtHighParallelism(t *testing.T) {
+	o := Options{Small: true, Seeds: []int64{1, 2, 3}, Parallel: 8}
+	fig, err := DelayClasses(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fig.Print(&buf)
+	buf.WriteString(fig.CSV())
+	compareGolden(t, "delayclasses_small.golden", buf.Bytes())
+}
+
+// compareGolden diffs got against the committed golden file, rewriting it
+// under -update-goldens.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGoldens {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run `go test ./internal/experiment -run Golden -update-goldens` on the known-good tree): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s diverged from the pre-refactor golden.\n--- want\n%s\n--- got\n%s", name, want, got)
+	}
+}

@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -151,20 +150,7 @@ func runStrategy(w *workload.Workload, cfg exec.Config, deliveries map[string]ex
 		return exec.Result{}, err
 	}
 	defer rt.Med.Reclaim()
-	switch strategy {
-	case "SEQ":
-		return exec.RunSEQ(rt)
-	case "MA":
-		return exec.RunMA(rt)
-	case "DSE":
-		return core.RunDSE(rt)
-	case "SCR":
-		return exec.RunScramble(rt)
-	case "DPHJ":
-		return exec.RunDPHJ(rt)
-	default:
-		return exec.Result{}, fmt.Errorf("experiment: unknown strategy %q", strategy)
-	}
+	return core.RunStrategyOn(rt, strategy)
 }
 
 // lowerBound computes LWB for a workload/delivery pair.

@@ -22,6 +22,18 @@ type span struct {
 	hasEnd     bool
 }
 
+// GanttFor renders like Gantt with a leading header naming the scheduling
+// policy that produced the trace (callers pass the run's Result.Strategy, so
+// charts of user-registered policies are labelled like the built-ins).
+func GanttFor(w io.Writer, tr *sim.Trace, width int, policy string) error {
+	if policy != "" {
+		if _, err := fmt.Fprintf(w, "fragment schedule under %s\n", policy); err != nil {
+			return err
+		}
+	}
+	return Gantt(w, tr, width)
+}
+
 // Gantt renders fragment lifetimes from a trace, one row per fragment in
 // start order. width is the number of time columns.
 func Gantt(w io.Writer, tr *sim.Trace, width int) error {

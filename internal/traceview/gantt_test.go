@@ -43,6 +43,26 @@ func TestGanttRendersSpans(t *testing.T) {
 	}
 }
 
+func TestGanttForNamesThePolicy(t *testing.T) {
+	tr := &sim.Trace{}
+	tr.Add(0, sim.EvBatch, "p_A first batch")
+	tr.Add(time.Second, sim.EvFragmentEnd, "p_A done (1 tuples in)")
+	var sb strings.Builder
+	if err := GanttFor(&sb, tr, 32, "SCR"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "fragment schedule under SCR\n") {
+		t.Errorf("policy header missing:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := GanttFor(&sb, tr, 32, ""); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "schedule under") {
+		t.Errorf("empty policy still produced a header:\n%s", sb.String())
+	}
+}
+
 func TestGanttUnfinishedSpan(t *testing.T) {
 	tr := &sim.Trace{}
 	tr.Add(0, sim.EvBatch, "p_A first batch")
