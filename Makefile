@@ -42,19 +42,22 @@ benchsmoke:
 # (BENCH_2.json, recorded after the batched-dataflow rework; BENCH_1.json
 # is kept as the pre-batching reference) via cmd/benchjson: fails if any
 # benchmark regressed more than 20% in ns/op or allocs/op. The raw output
-# is staged in a file so a failing `go test` aborts the target instead of
-# feeding benchjson an empty stream.
+# is staged in a file under the git-ignored out/ directory so a failing
+# `go test` aborts the target instead of feeding benchjson an empty
+# stream, and the working tree stays clean.
 BENCHFLAGS ?= -benchtime 1s
 BASELINE ?= BENCH_2.json
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > bench.out
-	$(GO) run ./cmd/benchjson -path $(BASELINE) < bench.out
+	@mkdir -p out
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > out/bench.out
+	$(GO) run ./cmd/benchjson -path $(BASELINE) < out/bench.out
 
 # Refresh the baseline after a deliberate performance change; commit the
 # updated baseline together with the change that justifies it.
 bench-update:
-	$(GO) test -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > bench.out
-	$(GO) run ./cmd/benchjson -path $(BASELINE) -write < bench.out
+	@mkdir -p out
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > out/bench.out
+	$(GO) run ./cmd/benchjson -path $(BASELINE) -write < out/bench.out
 
 # CPU and allocation profiles of the DSE-heavy delay-class sweep, the
 # workload the scheduler benchmarks exercise. Prints the top 15 cumulative

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	dqsbench [-exp all|table1|fig5|fig6|fig7|fig8|position|ablations] \
+//	dqsbench [-exp all|table1|fig5|fig6|fig7|fig8|position|resilience|ablations] \
 //	         [-reps N] [-parallel N] [-small] [-csv] [-chart] \
+//	         [-faults SPEC] [-fault-seed N] \
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Output is the same rows/series the paper plots; -csv additionally emits
@@ -26,11 +27,12 @@ import (
 	"time"
 
 	"dqs/internal/experiment"
+	"dqs/internal/fault"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, fig8, position, delays, multiquery, star, ablations, ablation-bmt, ablation-batch, ablation-queue, ablation-message, ablation-skew, ablation-memory")
+		exp        = flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, fig8, position, delays, resilience, multiquery, star, ablations, ablation-bmt, ablation-batch, ablation-queue, ablation-message, ablation-skew, ablation-memory")
 		reps       = flag.Int("reps", 3, "measurement repetitions (paper: 3)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulator runs; figure output is identical at any setting")
 		small      = flag.Bool("small", false, "run at 1/10 scale (fast)")
@@ -38,6 +40,8 @@ func main() {
 		chart      = flag.Bool("chart", false, "also draw ASCII charts")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the sweep to this file")
+		faults     = flag.String("faults", "", "inject a fault scenario into every run, e.g. 'D:drop@5000+2s' (experiments running DPHJ reject it)")
+		faultSeed  = flag.Int64("fault-seed", 1, "random seed of the fault scenario's timing draws")
 	)
 	flag.Parse()
 	if *cpuprofile != "" {
@@ -55,7 +59,7 @@ func main() {
 			f.Close()
 		}()
 	}
-	err := run(*exp, *reps, *parallel, *small, *csv, *chart)
+	err := run(*exp, *reps, *parallel, *small, *csv, *chart, *faults, *faultSeed)
 	if err == nil && *memprofile != "" {
 		err = writeMemProfile(*memprofile)
 	}
@@ -81,7 +85,7 @@ func writeMemProfile(path string) error {
 	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
-func run(exp string, reps, parallel int, small, csv, chart bool) error {
+func run(exp string, reps, parallel int, small, csv, chart bool, faults string, faultSeed int64) error {
 	if reps < 1 {
 		return fmt.Errorf("-reps must be at least 1, got %d", reps)
 	}
@@ -95,6 +99,16 @@ func run(exp string, reps, parallel int, small, csv, chart bool) error {
 	o.Seeds = o.Seeds[:0]
 	for i := 1; i <= reps; i++ {
 		o.Seeds = append(o.Seeds, int64(i))
+	}
+	if faults != "" {
+		plan, err := fault.Parse(faults)
+		if err != nil {
+			return err
+		}
+		cfg := o.ExecConfig()
+		cfg.Faults = plan
+		cfg.FaultSeed = faultSeed
+		o.Config = &cfg
 	}
 	out := os.Stdout
 
@@ -160,6 +174,11 @@ func run(exp string, reps, parallel int, small, csv, chart bool) error {
 	if want("delays") {
 		if err := show(experiment.DelayClasses(o)); err != nil {
 			return fmt.Errorf("delays: %w", err)
+		}
+	}
+	if want("resilience") {
+		if err := show(experiment.Resilience(o)); err != nil {
+			return fmt.Errorf("resilience: %w", err)
 		}
 	}
 	if want("multiquery") {

@@ -6,11 +6,17 @@
 //
 //	dqsrun [-strategy NAME] [-small] [-slow REL=RETRIEVAL_SECONDS]...
 //	       [-wmin DUR] [-mem MB] [-bmt F] [-trace] [-gantt] [-seed N]
+//	       [-faults SPEC] [-fault-seed N] [-partial] [-list-strategies]
 //
 // Example: watch DSE degrade the blocked chains while wrapper A crawls,
 // with a Gantt chart of fragment lifetimes:
 //
 //	dqsrun -strategy DSE -small -slow A=2 -gantt
+//
+// Example: kill wrapper D mid-stream and fail over to a replica, printing
+// the recovery timeline:
+//
+//	dqsrun -strategy DSE -small -faults 'D:kill@700;D:replica,connect=10ms'
 //
 // The -strategy values come from the scheduling-policy registry, so the
 // flag's help text always lists exactly the runnable strategies.
@@ -19,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -53,24 +60,47 @@ func main() {
 		names[i] = string(s)
 	}
 	var (
-		strategy = flag.String("strategy", "DSE", "execution strategy: "+strings.Join(names, ", "))
-		small    = flag.Bool("small", false, "1/10-scale workload")
-		wmin     = flag.Duration("wmin", 20*time.Microsecond, "baseline per-tuple waiting time of every wrapper")
-		memMB    = flag.Float64("mem", 64, "memory grant in MB")
-		bmt      = flag.Float64("bmt", 1, "benefit materialization threshold")
-		trace    = flag.Bool("trace", false, "dump the execution trace")
-		gantt    = flag.Bool("gantt", false, "draw a Gantt chart of fragment lifetimes")
-		seed     = flag.Int64("seed", 1, "random seed (data and delays)")
+		strategy  = flag.String("strategy", "DSE", "execution strategy: "+strings.Join(names, ", "))
+		small     = flag.Bool("small", false, "1/10-scale workload")
+		wmin      = flag.Duration("wmin", 20*time.Microsecond, "baseline per-tuple waiting time of every wrapper")
+		memMB     = flag.Float64("mem", 64, "memory grant in MB")
+		bmt       = flag.Float64("bmt", 1, "benefit materialization threshold")
+		trace     = flag.Bool("trace", false, "dump the execution trace")
+		gantt     = flag.Bool("gantt", false, "draw a Gantt chart of fragment lifetimes")
+		seed      = flag.Int64("seed", 1, "random seed (data and delays)")
+		faults    = flag.String("faults", "", "fault scenario, e.g. 'C:burst@100+500x300us;D:kill@5000;D:replica,connect=50ms'")
+		faultSeed = flag.Int64("fault-seed", 1, "random seed of the fault scenario's timing draws")
+		partial   = flag.Bool("partial", false, "allow partial results when a wrapper dies with no replica")
+		list      = flag.Bool("list-strategies", false, "list the registered strategies and exit")
 	)
 	flag.Var(slow, "slow", "slow one relation: REL=RETRIEVAL_SECONDS (repeatable)")
 	flag.Parse()
-	if err := run(*strategy, *small, *wmin, *memMB, *bmt, *trace, *gantt, *seed, slow); err != nil {
+	if *list {
+		listStrategies(os.Stdout)
+		return
+	}
+	if err := run(*strategy, *small, *wmin, *memMB, *bmt, *trace, *gantt, *seed, *faults, *faultSeed, *partial, slow); err != nil {
 		fmt.Fprintln(os.Stderr, "dqsrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, trace, gantt bool, seed int64, slow slowFlags) error {
+// listStrategies prints every registered strategy with its description
+// (-list-strategies).
+func listStrategies(w io.Writer) {
+	infos := dqs.StrategyList()
+	width := 0
+	for _, in := range infos {
+		if len(in.Name) > width {
+			width = len(in.Name)
+		}
+	}
+	for _, in := range infos {
+		fmt.Fprintf(w, "%-*s  %s\n", width, in.Name, in.Description)
+	}
+}
+
+func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, trace, gantt bool, seed int64, faults string, faultSeed int64, partial bool, slow slowFlags) error {
 	var (
 		w   *dqs.Workload
 		err error
@@ -88,10 +118,19 @@ func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, tr
 	cfg.MemoryBytes = int64(memMB * (1 << 20))
 	cfg.BMT = bmt
 	cfg.InitialWaitEstimate = wmin
+	cfg.FaultSeed = faultSeed
+	cfg.PartialResults = partial
 	var tr *sim.Trace
-	if trace || gantt {
+	if trace || gantt || faults != "" {
 		tr = &sim.Trace{}
 		cfg.Trace = tr
+	}
+	if faults != "" {
+		plan, err := dqs.ParseFaults(faults)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan
 	}
 	del := dqs.UniformDeliveries(w, wmin)
 	for rel, secs := range slow {
@@ -122,7 +161,16 @@ func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, tr
 		}
 		fmt.Println()
 	}
+	if faults != "" {
+		if err := traceview.FaultTimeline(os.Stdout, tr); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
 	fmt.Println(res)
+	if len(res.DegradedFragments) > 0 {
+		fmt.Printf("partial result: degraded fragments %v\n", res.DegradedFragments)
+	}
 	fmt.Printf("LWB=%.3fs  total-work=%.3fs  peak-mem=%.1fMB  replans=%d degradations=%d timeouts=%d mem-repairs=%d\n",
 		lwb.Seconds(), res.TotalWork().Seconds(), float64(res.PeakMemBytes)/(1<<20),
 		res.Replans, res.Degradations, res.Timeouts, res.MemRepairs)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -34,14 +35,39 @@ func TestRunSmallestEndToEnd(t *testing.T) {
 	// workload with every strategy.
 	const wmin = 20 * time.Microsecond
 	for _, strat := range []string{"SEQ", "MA", "DSE", "SCR"} {
-		if err := run(strat, true, wmin, 64, 1, false, false, 1, slowFlags{"A": 0.5}); err != nil {
+		if err := run(strat, true, wmin, 64, 1, false, false, 1, "", 1, false, slowFlags{"A": 0.5}); err != nil {
 			t.Errorf("%s: %v", strat, err)
 		}
 	}
-	if err := run("BOGUS", true, wmin, 64, 1, false, false, 1, nil); err == nil {
+	if err := run("BOGUS", true, wmin, 64, 1, false, false, 1, "", 1, false, nil); err == nil {
 		t.Error("unknown strategy accepted")
 	}
-	if err := run("SEQ", true, wmin, 64, 1, false, false, 1, slowFlags{"ZZ": 1}); err == nil {
+	if err := run("SEQ", true, wmin, 64, 1, false, false, 1, "", 1, false, slowFlags{"ZZ": 1}); err == nil {
 		t.Error("unknown slow relation accepted")
+	}
+	// Fault flags: a full scenario (disconnect + death + failover) and the
+	// partial-result path both complete through the command entry point.
+	if err := run("DSE", true, wmin, 64, 1, false, false, 1, "C:drop@500+40ms;D:kill@700;D:replica,connect=10ms", 1, false, nil); err != nil {
+		t.Errorf("fault scenario: %v", err)
+	}
+	if err := run("DSE", true, wmin, 64, 1, false, false, 1, "D:kill@700", 1, true, nil); err != nil {
+		t.Errorf("partial-result scenario: %v", err)
+	}
+	if err := run("DSE", true, wmin, 64, 1, false, false, 1, "D:bogus@1", 1, false, nil); err == nil {
+		t.Error("malformed fault spec accepted")
+	}
+}
+
+func TestListStrategies(t *testing.T) {
+	var b strings.Builder
+	listStrategies(&b)
+	out := b.String()
+	for _, name := range []string{"SEQ", "MA", "DSE", "SCR", "DPHJ"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("listing missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "iterator model") {
+		t.Errorf("listing missing descriptions:\n%s", out)
 	}
 }

@@ -33,6 +33,7 @@ import (
 
 	"dqs/internal/core"
 	"dqs/internal/exec"
+	"dqs/internal/fault"
 	"dqs/internal/plan"
 	"dqs/internal/relation"
 	"dqs/internal/sim"
@@ -55,7 +56,26 @@ type (
 	Params = sim.Params
 	// Trace records execution events.
 	Trace = sim.Trace
+	// FaultPlan is a declarative, seed-deterministic fault scenario: clauses
+	// (stall, burst, disconnect, kill) and replica declarations per source.
+	// Set Config.Faults to inject one; an empty plan changes nothing.
+	FaultPlan = fault.Plan
+	// FaultClause is one fault striking one source at a row boundary.
+	FaultClause = fault.Clause
+	// FaultReplica declares a standby source for failover.
+	FaultReplica = fault.Replica
+	// StrategyInfo describes one registered strategy for listings.
+	StrategyInfo = core.StrategyInfo
 )
+
+// ParseFaults builds a fault plan from the compact CLI spec grammar, e.g.
+// "C:burst@100+500x300us;D:drop@5000+2s;A:kill@9000;A:replica,connect=50ms".
+// See the fault-injection section of the README for the full grammar.
+func ParseFaults(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
+
+// StrategyList returns every registered strategy with its one-line
+// description, in registration order.
+func StrategyList() []StrategyInfo { return core.StrategyList() }
 
 // Strategy selects an execution strategy.
 type Strategy string
@@ -119,7 +139,9 @@ type (
 	QueryRuntime = exec.Runtime
 )
 
-// Interruption-event kinds delivered to Policy.OnEvent.
+// Interruption-event kinds delivered to Policy.OnEvent. The three fault
+// kinds (SourceDown, SourceUp, Failover) are only raised under an active
+// fault plan.
 const (
 	EventSPDone     = core.EventSPDone
 	EventEndOfQF    = core.EventEndOfQF
@@ -127,6 +149,9 @@ const (
 	EventTimeout    = core.EventTimeout
 	EventOverflow   = core.EventOverflow
 	EventResched    = core.EventResched
+	EventSourceDown = core.EventSourceDown
+	EventSourceUp   = core.EventSourceUp
+	EventFailover   = core.EventFailover
 )
 
 // RegisterPolicy adds a named scheduling policy to the strategy registry.

@@ -244,7 +244,13 @@ func (q *Queue) Available(now time.Duration) int {
 }
 
 // NextArrival returns the arrival time of the oldest buffered tuple, or
-// false if the queue is empty.
+// false if the queue is empty. Because producers pump eagerly until the
+// window protocol suspends them, an empty queue means the producer has
+// nothing more to give right now: either it is exhausted, or — under fault
+// injection — it is dead. The resilience layer relies on this contract to
+// tell silence (empty queue, dead source) apart from an in-progress
+// disconnect, whose outage-shifted arrivals are already buffered with
+// future timestamps.
 func (q *Queue) NextArrival() (time.Duration, bool) {
 	if q.size == 0 {
 		return 0, false

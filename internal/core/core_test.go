@@ -115,7 +115,7 @@ func TestDSEDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !a.Equal(b) {
 		t.Errorf("same seed produced different DSE results:\n%v\n%v", a, b)
 	}
 }

@@ -60,6 +60,11 @@ func (e *Engine) processPhase(sp SchedulingPlan) (Event, error) {
 		} else {
 			lastNow, spins = now, 0
 		}
+		if e.flt != nil {
+			if ev, ok := e.flt.transition(now, window); ok {
+				return ev, nil
+			}
+		}
 		if sp.ObserveRates {
 			med.CM.Observe(now)
 			if w := med.CM.RateChanged(); w != "" {
@@ -113,9 +118,25 @@ func (e *Engine) processPhase(sp SchedulingPlan) (Event, error) {
 		if acted {
 			continue
 		}
-		// Every fragment of the window is starved. A policy with its own
-		// starvation reaction (scrambling) takes over here; otherwise the
-		// engine stalls until the earliest arrival, or reports a timeout.
+		// Every fragment of the window is starved. The resilience layer (when
+		// faults are active) checks for permanently silent wrappers first —
+		// probing, declaring death, failing over — before the policy's own
+		// starvation reaction or the default stall/timeout.
+		if e.flt != nil {
+			act, ev, err := e.flt.onStarved(window)
+			if err != nil {
+				return Event{}, err
+			}
+			switch act {
+			case faultStalled:
+				continue
+			case faultEvent:
+				return ev, nil
+			}
+		}
+		// A policy with its own starvation reaction (scrambling) takes over
+		// here; otherwise the engine stalls until the earliest arrival, or
+		// reports a timeout.
 		if starve != nil {
 			eff := sp
 			eff.Frags = window
@@ -156,6 +177,11 @@ func (e *Engine) processPhase(sp SchedulingPlan) (Event, error) {
 func (e *Engine) processRoundRobin(sp SchedulingPlan) (Event, error) {
 	med := e.med
 	for {
+		if e.flt != nil {
+			if ev, ok := e.flt.transition(med.Now(), sp.Frags); ok {
+				return ev, nil
+			}
+		}
 		progressed := false
 		alldone := true
 		for _, f := range sp.Frags {
@@ -174,8 +200,21 @@ func (e *Engine) processRoundRobin(sp SchedulingPlan) (Event, error) {
 			return Event{Kind: EventSPDone, Window: sp.Frags}, nil
 		}
 		if !progressed {
-			// Every unfinished wrapper is quiet: stall to the earliest
-			// arrival, or end the phase when no arrival is ever coming.
+			// Every unfinished wrapper is quiet: check for dead wrappers,
+			// then stall to the earliest arrival, or end the phase when no
+			// arrival is ever coming.
+			if e.flt != nil {
+				act, ev, err := e.flt.onStarved(sp.Frags)
+				if err != nil {
+					return Event{}, err
+				}
+				switch act {
+				case faultStalled:
+					continue
+				case faultEvent:
+					return ev, nil
+				}
+			}
 			next, ok := e.st.NextArrival(sp)
 			if !ok {
 				return Event{Kind: EventSPDone, Window: sp.Frags}, nil

@@ -116,7 +116,10 @@ func (p *dsePolicy) Plan(st *State) (SchedulingPlan, error) {
 func (p *dsePolicy) OnEvent(st *State, ev Event) error {
 	med := st.Mediator()
 	switch ev.Kind {
-	case EventEndOfQF, EventSPDone:
+	case EventEndOfQF, EventSPDone, EventSourceDown, EventSourceUp, EventFailover:
+		// Fault transitions and recoveries end the phase like completions
+		// do: abandoned fragments read as Done, failover brings fresh
+		// arrivals — either way the next planning point sees current state.
 		p.advanceFinished(st)
 	case EventRateChange:
 		// Replanning with the fresh estimates happens at the next planning

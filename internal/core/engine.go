@@ -21,6 +21,9 @@ type Engine struct {
 	med *exec.Mediator
 	st  *State
 	pol Policy
+	// flt is the fault-reaction layer, non-nil only under an active fault
+	// plan; the fault-free path takes no new branches.
+	flt *resilience
 }
 
 // NewPolicyEngine prepares an engine driving the given query runtimes on
@@ -43,7 +46,11 @@ func NewPolicyEngine(med *exec.Mediator, rts []*exec.Runtime, factory PolicyFact
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{med: med, st: st, pol: pol}, nil
+	e := &Engine{med: med, st: st, pol: pol}
+	if med.FaultsActive() {
+		e.flt = &resilience{med: med, st: st, wrappers: make(map[string]*wrapperState)}
+	}
+	return e, nil
 }
 
 // NewEngine prepares a dynamic (DSE) engine over a fresh single-query

@@ -119,7 +119,7 @@ func TestMultiQueryDeterminism(t *testing.T) {
 	}
 	a, b := run(), run()
 	for i := range a {
-		if a[i] != b[i] {
+		if !a[i].Equal(b[i]) {
 			t.Errorf("query %d results differ:\n%v\n%v", i, a[i], b[i])
 		}
 	}

@@ -29,6 +29,15 @@ const (
 	// EventResched: the policy's starvation handler asked for a fresh
 	// planning phase.
 	EventResched
+	// EventSourceDown: a wrapper stopped delivering — a fault transition
+	// crossed the current virtual time (disconnect or permanent death), or
+	// the resilience layer abandoned the wrapper's fragments in
+	// partial-result mode. Only raised under an active fault plan.
+	EventSourceDown
+	// EventSourceUp: a disconnected wrapper resumed delivering.
+	EventSourceUp
+	// EventFailover: a standby replica took over a dead wrapper's stream.
+	EventFailover
 )
 
 // String names the event kind for diagnostics.
@@ -46,6 +55,12 @@ func (k EventKind) String() string {
 		return "Overflow"
 	case EventResched:
 		return "Resched"
+	case EventSourceDown:
+		return "SourceDown"
+	case EventSourceUp:
+		return "SourceUp"
+	case EventFailover:
+		return "Failover"
 	}
 	return "Unknown"
 }
@@ -55,7 +70,8 @@ type Event struct {
 	Kind EventKind
 	// Frag is the fragment that ended the phase (EndOfQF, Overflow).
 	Frag *exec.Fragment
-	// Wrapper names the source whose delivery rate changed (RateChange).
+	// Wrapper names the source whose delivery rate changed (RateChange) or
+	// whose availability changed (SourceDown, SourceUp, Failover).
 	Wrapper string
 	// Window is the effective scheduling window when the phase ended: for
 	// Sticky plans it is the narrowed prefix of the plan (see

@@ -18,6 +18,7 @@ type PolicyFactory func(st *State) (Policy, error)
 // single-query runner.
 type strategyEntry struct {
 	name    string
+	desc    string
 	factory PolicyFactory
 	runner  func(rt *exec.Runtime) (exec.Result, error)
 }
@@ -46,11 +47,16 @@ func mustRegister(e strategyEntry) {
 }
 
 func init() {
-	mustRegister(strategyEntry{name: "SEQ", factory: NewSeqPolicy})
-	mustRegister(strategyEntry{name: "MA", factory: NewMAPolicy})
-	mustRegister(strategyEntry{name: "DSE", factory: NewDSEPolicy})
-	mustRegister(strategyEntry{name: "SCR", factory: NewScramblePolicy})
-	mustRegister(strategyEntry{name: "DPHJ", runner: exec.RunDPHJ})
+	mustRegister(strategyEntry{name: "SEQ", factory: NewSeqPolicy,
+		desc: "classic iterator model: drain pipeline chains strictly one after another"})
+	mustRegister(strategyEntry{name: "MA", factory: NewMAPolicy,
+		desc: "materialize-all: spool every wrapper to local disk, then execute locally"})
+	mustRegister(strategyEntry{name: "DSE", factory: NewDSEPolicy,
+		desc: "the paper's dynamic scheduling: critical-degree fragment plans with degradation"})
+	mustRegister(strategyEntry{name: "SCR", factory: NewScramblePolicy,
+		desc: "phase-1 query scrambling: iterator model with a timeout-driven tree switch"})
+	mustRegister(strategyEntry{name: "DPHJ", runner: exec.RunDPHJ,
+		desc: "double-pipelined hash joins: operator-level reactive baseline (single query)"})
 }
 
 // RegisterPolicy adds a named scheduling policy to the strategy registry,
@@ -61,7 +67,8 @@ func RegisterPolicy(name string, factory PolicyFactory) error {
 	if factory == nil {
 		return fmt.Errorf("core: policy %q has a nil factory", name)
 	}
-	return register(strategyEntry{name: name, factory: factory})
+	return register(strategyEntry{name: name, factory: factory,
+		desc: "user-registered scheduling policy"})
 }
 
 // NewPolicy builds the named registered strategy's policy over st. It is the
@@ -88,6 +95,22 @@ func StrategyNames() []string {
 	return names
 }
 
+// StrategyInfo describes one registered strategy for listings.
+type StrategyInfo struct {
+	Name        string
+	Description string
+}
+
+// StrategyList returns every registered strategy with its one-line
+// description, in registration order (dqsrun -list-strategies).
+func StrategyList() []StrategyInfo {
+	infos := make([]StrategyInfo, len(strategies))
+	for i, e := range strategies {
+		infos[i] = StrategyInfo{Name: e.name, Description: e.desc}
+	}
+	return infos
+}
+
 // errUnknownStrategy lists the registered strategies so callers see what is
 // available at every dispatch site.
 func errUnknownStrategy(name string) error {
@@ -107,6 +130,12 @@ func RunStrategy(med *exec.Mediator, rts []*exec.Runtime, name string) ([]exec.R
 	if e.runner != nil {
 		if len(rts) != 1 {
 			return nil, fmt.Errorf("core: strategy %s runs single queries only (%d given)", name, len(rts))
+		}
+		if med.FaultsActive() {
+			// Runner strategies bypass the unified executor and with it the
+			// resilience layer; running them under a fault plan would hang
+			// on the first dead wrapper.
+			return nil, fmt.Errorf("core: strategy %s does not support fault injection", name)
 		}
 		return runnerResults(e.runner(rts[0]))
 	}

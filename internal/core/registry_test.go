@@ -90,7 +90,7 @@ func TestRegisteredCustomPolicyRunsLikeBuiltins(t *testing.T) {
 		t.Errorf("Result.Strategy = %q, want %q", alias.Strategy, name)
 	}
 	alias.Strategy = seq.Strategy
-	if alias != seq {
+	if !alias.Equal(seq) {
 		t.Errorf("aliased SEQ diverged from SEQ:\n%v\n%v", alias, seq)
 	}
 }

@@ -130,6 +130,31 @@ func (p *scrPolicy) OnStarved(st *State, sp SchedulingPlan) (bool, error) {
 	f := sp.Frags[len(sp.Frags)-1] // the chain the engine is working on
 	arrival, ok := f.NextArrival()
 	if !ok {
+		// The current chain will never see data again (its wrapper is dead
+		// or mid-disconnect with nothing buffered): scramble away without
+		// waiting for the timeout — there is nothing to time out on. The
+		// all-dead case is the resilience layer's to resolve; it runs before
+		// this handler, so reaching here with no alternative and no arrival
+		// anywhere is a real planning bug.
+		cur := p.indexOf(f)
+		for i := range p.order {
+			if i == cur || p.frags[i] == nil || p.frags[i].Done() {
+				continue
+			}
+			if p.frags[i].Runnable(st.Now()) {
+				p.scrambles++
+				st.CountReplan()
+				st.ChargeInstructions(med.Cfg.ScrambleSwitchInstr)
+				med.Trace.Add(st.Now(), sim.EvSchedule, "scramble step %d: %s -> %s (no future arrivals)",
+					p.scrambles, f.Label, p.frags[i].Label)
+				p.cur = i
+				return true, nil
+			}
+		}
+		if next, ok := nextArrival(sp.Frags); ok {
+			st.StallUntil(next)
+			return false, nil
+		}
 		return false, fmt.Errorf("core: fragment %s starved with no future arrivals", f.Label)
 	}
 	now := st.Now()

@@ -68,7 +68,7 @@ func TestSEQDeterminism(t *testing.T) {
 		res := runStrategyOn(t, newRT(t, w, testConfig(), del), "SEQ")
 		if i == 0 {
 			first = res
-		} else if res != first {
+		} else if !res.Equal(first) {
 			t.Errorf("same seed produced different results:\n%v\n%v", first, res)
 		}
 	}

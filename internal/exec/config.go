@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"dqs/internal/fault"
 	"dqs/internal/sim"
 	"dqs/internal/source"
 )
@@ -73,6 +74,31 @@ type Config struct {
 	// toggle exists so differential tests can prove it. Off (batched) in
 	// production.
 	PerTupleDataflow bool
+	// Faults, when active, injects the plan's per-wrapper fault clauses into
+	// this run's sources and arms the engine-side resilience machinery
+	// (silence detection, bounded retry, failover, partial results). A nil
+	// or empty plan is the fault-free path and leaves runs bit-identical to
+	// a build without fault support.
+	Faults *fault.Plan
+	// FaultSeed salts the fault-dedicated random streams (restart re-draws,
+	// replica delays), keyed per wrapper name, so fault randomness never
+	// perturbs the base data and delay streams.
+	FaultSeed int64
+	// FaultDetect is how long a scheduled wrapper must stay silent — nothing
+	// buffered, nothing in flight, rows undelivered — before the engine
+	// sends its first retry probe.
+	FaultDetect time.Duration
+	// FaultRetryBase is the backoff after the first retry probe; each
+	// further probe doubles it (exponential backoff in virtual time).
+	FaultRetryBase time.Duration
+	// FaultRetries bounds the probes before the engine declares the wrapper
+	// dead and recovers (replica failover, partial results, or an error).
+	FaultRetries int
+	// PartialResults lets the engine complete a QEP minus dead subtrees:
+	// fragments of a wrapper declared dead with no replica are abandoned
+	// with whatever they processed, and the Result reports the degraded
+	// fragments. Off, a dead wrapper without a replica fails the run.
+	PartialResults bool
 	// Trace, when non-nil, records execution events.
 	Trace *sim.Trace
 	// Scratch, when non-nil, supplies pooled per-run execution state
@@ -99,6 +125,9 @@ func DefaultConfig() Config {
 		PrefetchPages:       2,
 		ScrambleTimeout:     100 * time.Millisecond,
 		ScrambleSwitchInstr: 500000,
+		FaultDetect:         50 * time.Millisecond,
+		FaultRetryBase:      100 * time.Millisecond,
+		FaultRetries:        4,
 		Seed:                1,
 	}
 }
@@ -129,6 +158,19 @@ func (c Config) Validate() error {
 		return fmt.Errorf("exec: ScrambleTimeout must be positive, got %v", c.ScrambleTimeout)
 	case c.ScrambleSwitchInstr < 0:
 		return fmt.Errorf("exec: ScrambleSwitchInstr must be non-negative, got %d", c.ScrambleSwitchInstr)
+	}
+	if c.Faults.Active() {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+		switch {
+		case c.FaultDetect <= 0:
+			return fmt.Errorf("exec: FaultDetect must be positive with faults active, got %v", c.FaultDetect)
+		case c.FaultRetryBase <= 0:
+			return fmt.Errorf("exec: FaultRetryBase must be positive with faults active, got %v", c.FaultRetryBase)
+		case c.FaultRetries < 1:
+			return fmt.Errorf("exec: FaultRetries must be at least 1 with faults active, got %d", c.FaultRetries)
+		}
 	}
 	return nil
 }

@@ -456,3 +456,28 @@ func (f *Fragment) maybeFinish() {
 	f.done = true
 	f.rt.Trace.Add(f.rt.Now(), sim.EvFragmentEnd, "%s done (%d tuples in)", f.Label, f.processed)
 }
+
+// Abandon terminates the fragment with its input permanently dead — the
+// partial-result path. Whatever the fragment produced stands: a build
+// terminal seals its (partial) hash table so downstream fragments complete
+// against it, a temp terminal closes its spill. Overflow-stranded outputs
+// are dropped with the rest of the dead stream. The fragment is recorded as
+// degraded on its runtime.
+func (f *Fragment) Abandon() {
+	if f.done {
+		return
+	}
+	f.pending = nil
+	switch f.Term {
+	case TermBuild:
+		f.rt.completeTable(f.Chain.BuildsFor)
+	case TermTemp:
+		f.Temp.Close()
+	}
+	for _, s := range f.steps {
+		f.rt.releaseTable(s.join)
+	}
+	f.done = true
+	f.rt.degraded = append(f.rt.degraded, f.Label)
+	f.rt.Trace.Add(f.rt.Now(), sim.EvFragmentEnd, "%s abandoned (%d tuples in, input dead)", f.Label, f.processed)
+}

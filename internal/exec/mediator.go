@@ -33,6 +33,7 @@ type Mediator struct {
 	queries   int
 	rts       []*Runtime
 	reclaimed bool
+	flt       *faultState
 
 	replans    int
 	degrades   int
@@ -145,12 +146,16 @@ func (m *Mediator) AddQuery(label string, root *plan.Node, ds relation.Dataset, 
 		if d.InitialDelay > 0 {
 			opts = append(opts, source.WithInitialDelay(d.InitialDelay))
 		}
+		opts = m.compileFaults(name, cmName, opts)
 		src, err := source.New(cmName, table, q, rng.Fork(int64(i+1)), netTime, opts...)
 		if err != nil {
 			return nil, err
 		}
 		rt.sources[name] = src
 		rt.qsrcs[name] = newQueueSource(q, src)
+		if err := m.registerFaultEntry(rt, name, cmName, table, d, netTime); err != nil {
+			return nil, err
+		}
 	}
 	for _, j := range plan.Joins(root) {
 		rt.tables[j.ID] = &tableState{

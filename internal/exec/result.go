@@ -35,6 +35,36 @@ type Result struct {
 	// query's completed hash-table builds — the execution statistics §3.1
 	// says should flow back to the dynamic optimizer.
 	MaxEstError float64
+	// DegradedFragments lists the fragments abandoned in partial-result
+	// mode because their wrapper died with no replica; empty for complete
+	// executions.
+	DegradedFragments []string
+}
+
+// Equal reports field-by-field equality, treating DegradedFragments as a
+// value (the struct is no longer ==-comparable since it carries the slice).
+func (r Result) Equal(o Result) bool {
+	if len(r.DegradedFragments) != len(o.DegradedFragments) {
+		return false
+	}
+	for i := range r.DegradedFragments {
+		if r.DegradedFragments[i] != o.DegradedFragments[i] {
+			return false
+		}
+	}
+	return r.Strategy == o.Strategy &&
+		r.ResponseTime == o.ResponseTime &&
+		r.BusyTime == o.BusyTime &&
+		r.IdleTime == o.IdleTime &&
+		r.OutputRows == o.OutputRows &&
+		r.Disk == o.Disk &&
+		r.PeakMemBytes == o.PeakMemBytes &&
+		r.MaterializedTuples == o.MaterializedTuples &&
+		r.Replans == o.Replans &&
+		r.Degradations == o.Degradations &&
+		r.Timeouts == o.Timeouts &&
+		r.MemRepairs == o.MemRepairs &&
+		r.MaxEstError == o.MaxEstError
 }
 
 // TotalWork returns busy CPU time plus disk busy time: the "total work"
@@ -45,9 +75,13 @@ func (r Result) TotalWork() time.Duration {
 
 // String renders a one-line summary.
 func (r Result) String() string {
-	return fmt.Sprintf("%s: response=%.3fs busy=%.3fs idle=%.3fs out=%d io(r/w)=%d/%d mat=%d",
+	s := fmt.Sprintf("%s: response=%.3fs busy=%.3fs idle=%.3fs out=%d io(r/w)=%d/%d mat=%d",
 		r.Strategy, r.ResponseTime.Seconds(), r.BusyTime.Seconds(), r.IdleTime.Seconds(),
 		r.OutputRows, r.Disk.Reads, r.Disk.Writes, r.MaterializedTuples)
+	if len(r.DegradedFragments) > 0 {
+		s += fmt.Sprintf(" degraded=%v", r.DegradedFragments)
+	}
+	return s
 }
 
 // Finish snapshots the runtime into a Result for the named strategy, with
@@ -75,5 +109,6 @@ func (rt *Runtime) FinishAt(strategy string, response time.Duration) Result {
 		Timeouts:           m.timeouts,
 		MemRepairs:         m.memRepairs,
 		MaxEstError:        rt.MaxEstErrorFactor(),
+		DegradedFragments:  rt.degraded,
 	}
 }

@@ -44,6 +44,7 @@ type Runtime struct {
 
 	outputRows int64
 	matTuples  int64
+	degraded   []string
 }
 
 // tableState tracks one join's hash table through its life cycle.
@@ -213,6 +214,10 @@ func (rt *Runtime) emitOutput() { rt.outputRows++ }
 
 // OutputRows returns the number of result tuples produced so far.
 func (rt *Runtime) OutputRows() int64 { return rt.outputRows }
+
+// Degraded returns the labels of fragments abandoned in partial-result mode,
+// in abandonment order (empty for complete executions).
+func (rt *Runtime) Degraded() []string { return rt.degraded }
 
 // predSelectivity returns the estimated surviving fraction of a chain's
 // pushed-down predicate (1 when absent).

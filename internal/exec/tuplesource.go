@@ -82,6 +82,11 @@ func (s *queueSource) Exhausted() bool { return s.src.Exhausted() && s.q.Len() =
 
 func (s *queueSource) Remaining() int { return s.src.Rows() - s.popped }
 
+// swap replaces the producing source behind the queue — failover handed the
+// stream to a replica. The queue itself (and its buffered tuples) carries
+// over; only the producer consulted for exhaustion changes.
+func (s *queueSource) swap(src *source.Source) { s.src = src }
+
 // tempSource adapts a temp-relation reader; mem.Reader implements the
 // bulk protocol natively, and Credit is a no-op: a temp reader has no
 // window protocol, so there is no producer to resume.

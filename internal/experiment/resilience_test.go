@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestResilienceFigureMatchesGolden pins the resilience sweep (SEQ, MA, SCR,
+// DSE across the four fault-intensity levels, 3 seeds) byte for byte.
+func TestResilienceFigureMatchesGolden(t *testing.T) {
+	o := Options{Small: true, Seeds: []int64{1, 2, 3}}
+	fig, err := Resilience(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fig.Print(&buf)
+	buf.WriteString(fig.CSV())
+	compareGolden(t, "resilience_small.golden", buf.Bytes())
+}
+
+// TestResilienceFigureGoldenAtHighParallelism re-renders the sweep on an
+// 8-worker pool against the same golden: fault scenarios are independent
+// deterministic simulations, so the figure must stay byte-identical at any
+// -parallel setting.
+func TestResilienceFigureGoldenAtHighParallelism(t *testing.T) {
+	o := Options{Small: true, Seeds: []int64{1, 2, 3}, Parallel: 8}
+	fig, err := Resilience(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fig.Print(&buf)
+	buf.WriteString(fig.CSV())
+	compareGolden(t, "resilience_small.golden", buf.Bytes())
+}
+
+// TestResilienceQualitative asserts the shape of the sweep without pinning
+// bytes: every strategy completes every level, and no strategy gets faster
+// as fault intensity rises from the fault-free baseline.
+func TestResilienceQualitative(t *testing.T) {
+	fig, err := Resilience(Options{Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []string{"SEQ", "MA", "SCR", "DSE"} {
+		vals := fig.Get(strat)
+		if len(vals) != 4 {
+			t.Fatalf("%s: %d levels, want 4", strat, len(vals))
+		}
+		for i, v := range vals {
+			if v <= 0 {
+				t.Errorf("%s level %d: response %v not positive", strat, i, v)
+			}
+			if i > 0 && v < vals[0] {
+				t.Errorf("%s level %d: response %v beats the fault-free baseline %v", strat, i, v, vals[0])
+			}
+		}
+	}
+}

@@ -22,6 +22,10 @@ const (
 	EvMemRepair                    // the DQO repaired a non-M-schedulable PC
 	EvMaterialize                  // tuples were spilled to a temp relation
 	EvPhase                        // a strategy phase boundary (e.g. MA)
+	EvSourceDown                   // a wrapper stopped delivering (fault)
+	EvSourceUp                     // a wrapper resumed delivering
+	EvRetry                        // the engine probed a silent wrapper
+	EvFailover                     // a replica took over a dead wrapper
 )
 
 var eventNames = map[EventKind]string{
@@ -36,6 +40,10 @@ var eventNames = map[EventKind]string{
 	EvMemRepair:   "mem-repair",
 	EvMaterialize: "materialize",
 	EvPhase:       "phase",
+	EvSourceDown:  "source-down",
+	EvSourceUp:    "source-up",
+	EvRetry:       "retry",
+	EvFailover:    "failover",
 }
 
 // String returns the human-readable name of the event kind.

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dqs/internal/comm"
+	"dqs/internal/fault"
 	"dqs/internal/relation"
 	"dqs/internal/sim"
 )
@@ -43,6 +44,23 @@ type Source struct {
 
 	phases       []Phase
 	initialDelay time.Duration
+
+	// Fault-injection state. faults is the compiled per-source schedule in
+	// row order (empty for the fault-free path, which stays bit-identical:
+	// no extra draws, no extra branches taken). frng is the dedicated fault
+	// RNG for restart re-draws; fidx is the cursor into faults.
+	faults  []fault.Clause
+	frng    *sim.RNG
+	fidx    int
+	dead    bool
+	deadAt  time.Duration
+	outages []fault.Outage
+
+	// standby marks a replica built inactive: it neither registers as the
+	// queue's producer nor pumps until Activate. firstRow is the row the
+	// initial delay applies to (the row a replica resumes at).
+	standby  bool
+	firstRow int
 
 	next      int           // next row to produce
 	producing bool          // a tuple is produced (or in production) but not yet sent
@@ -77,6 +95,26 @@ func WithInitialDelay(d time.Duration) Option {
 	return func(s *Source) { s.initialDelay = d }
 }
 
+// WithFaults injects a compiled fault schedule: the script's clauses strike
+// at their row boundaries as the source produces. Clauses must be sorted by
+// row (fault.Plan.ClausesFor compiles them that way).
+func WithFaults(sc *fault.Script) Option {
+	return func(s *Source) {
+		if sc == nil {
+			return
+		}
+		s.faults = sc.Clauses
+		s.frng = sc.RNG
+	}
+}
+
+// AsStandby builds the source inactive: it does not register as the queue's
+// producer and does not pump until Activate — the replica half of a
+// failover pair.
+func AsStandby() Option {
+	return func(s *Source) { s.standby = true }
+}
+
 // New creates a source delivering the given table into q. netTime is the
 // per-tuple network transit time. The source immediately pumps tuples into
 // the queue (production starts at virtual time zero, when the mediator sends
@@ -93,7 +131,10 @@ func New(name string, table *relation.Table, q *comm.Queue, rng *sim.RNG, netTim
 	for _, o := range opts {
 		o(s)
 	}
-	if len(s.phases) == 0 || s.phases[0].FromRow != 0 {
+	if len(s.phases) == 0 {
+		return nil, fmt.Errorf("source %q: empty waiting-time schedule (need at least one phase)", name)
+	}
+	if s.phases[0].FromRow != 0 {
 		return nil, fmt.Errorf("source %q: waiting-time schedule must start at row 0", name)
 	}
 	for i := 1; i < len(s.phases); i++ {
@@ -109,10 +150,20 @@ func New(name string, table *relation.Table, q *comm.Queue, rng *sim.RNG, netTim
 	if s.initialDelay < 0 {
 		return nil, fmt.Errorf("source %q: negative initial delay", name)
 	}
-	q.SetProducer(s)
+	for i := 1; i < len(s.faults); i++ {
+		if s.faults[i].Row < s.faults[i-1].Row {
+			return nil, fmt.Errorf("source %q: fault clauses not in row order", name)
+		}
+	}
+	if len(s.faults) > 0 && s.frng == nil {
+		return nil, fmt.Errorf("source %q: fault script without an RNG", name)
+	}
 	s.stageT = make([]relation.Tuple, 0, q.Capacity())
 	s.stageAt = make([]time.Duration, 0, q.Capacity())
-	s.pump(0)
+	if !s.standby {
+		q.SetProducer(s)
+		s.pump(0)
+	}
 	return s, nil
 }
 
@@ -127,6 +178,51 @@ func (s *Source) Exhausted() bool { return s.next >= len(s.rows) && !s.producing
 
 // Blocked reports whether the window protocol currently suspends the source.
 func (s *Source) Blocked() bool { return s.blocked }
+
+// Dead reports whether a kill clause permanently stopped the source with
+// rows undelivered.
+func (s *Source) Dead() bool { return s.dead }
+
+// DeadAt returns the virtual instant of a dead source's failure (the send
+// time of its last delivered tuple).
+func (s *Source) DeadAt() time.Duration { return s.deadAt }
+
+// Outages returns the delivery interruptions recorded so far, in row order.
+// The eager pump records an outage when it produces the row it strikes, so
+// entries can carry future timestamps; callers surface them when virtual
+// time reaches the boundary. The slice aliases internal state: read only.
+func (s *Source) Outages() []fault.Outage { return s.outages }
+
+// NextRow returns the first row not yet sent to the queue — where a
+// failover replica resumes the stream.
+func (s *Source) NextRow() int { return s.next }
+
+// Activate starts a standby replica at virtual time now, resuming delivery
+// at fromRow: it becomes the queue's producer (replacing the dead primary)
+// and pumps. The stream restarts after the connect delay; a restart replica
+// additionally re-pays the production time of rows [0, fromRow) — a cold
+// standby re-runs the sub-query from the beginning and discards the prefix
+// — while a replay (warm) standby resumes mid-stream immediately.
+func (s *Source) Activate(now time.Duration, fromRow int, connect time.Duration, restart bool) {
+	if !s.standby {
+		panic(fmt.Sprintf("source %q: Activate on a non-standby source", s.name))
+	}
+	if fromRow < 0 || fromRow > len(s.rows) {
+		panic(fmt.Sprintf("source %q: Activate from row %d of %d", s.name, fromRow, len(s.rows)))
+	}
+	s.standby = false
+	start := now + connect
+	if restart {
+		for i := 0; i < fromRow; i++ {
+			start += s.rng.UniformDelay(s.waitFor(i))
+		}
+	}
+	s.next = fromRow
+	s.firstRow = fromRow
+	s.startAt = start
+	s.q.SetProducer(s)
+	s.pump(start)
+}
 
 // waitFor returns the mean waiting time in force for the given row.
 func (s *Source) waitFor(row int) time.Duration {
@@ -187,13 +283,36 @@ func (s *Source) Resume(now time.Duration) { s.pump(now) }
 // tuples count against the window while staging, keeping the suspension
 // point identical to the push-per-tuple loop.
 func (s *Source) pump(floor time.Duration) {
+	if s.dead {
+		return
+	}
 	staged := 0
 	for s.next < len(s.rows) {
+		// Skip fault clauses whose boundary has passed (burst start rows are
+		// consumed here: bursts act through effectiveWait, not the cursor).
+		for s.fidx < len(s.faults) && (s.faults[s.fidx].Row < s.next ||
+			(s.faults[s.fidx].Row == s.next && s.faults[s.fidx].Kind == fault.Burst)) {
+			s.fidx++
+		}
+		if s.fidx < len(s.faults) && s.faults[s.fidx].Row == s.next && s.faults[s.fidx].Kind == fault.Kill {
+			// Permanent death: this row and everything after it are never
+			// produced. The wrapper fails right after its last delivered
+			// tuple; that send instant dates the outage.
+			s.fidx++
+			s.dead = true
+			s.deadAt = s.startAt
+			s.outages = append(s.outages, fault.Outage{From: s.startAt, Permanent: true})
+			break
+		}
 		if !s.producing {
-			w := s.waitFor(s.next)
+			w := s.effectiveWait(s.next)
 			d := s.rng.UniformDelay(w)
-			if s.next == 0 {
+			if s.next == s.firstRow {
 				d += s.initialDelay
+			}
+			if s.fidx < len(s.faults) && s.faults[s.fidx].Row == s.next && s.faults[s.fidx].Kind == fault.Stall {
+				d += s.faults[s.fidx].Down
+				s.fidx++
 			}
 			s.readyAt = s.startAt + d
 			s.producing = true
@@ -205,6 +324,21 @@ func (s *Source) pump(floor time.Duration) {
 		send := s.readyAt
 		if floor > send {
 			send = floor
+		}
+		if s.fidx < len(s.faults) && s.faults[s.fidx].Row == s.next && s.faults[s.fidx].Kind == fault.Disconnect {
+			// The connection drops just as this row would be sent and comes
+			// back Down later; restart semantics additionally re-pay the
+			// production time of the already delivered prefix (fresh draws
+			// from the fault stream — the data is deterministic, the timing
+			// is not).
+			c := s.faults[s.fidx]
+			s.fidx++
+			down := c.Down
+			if c.Restart {
+				down += s.reproduceTime(s.next)
+			}
+			s.outages = append(s.outages, fault.Outage{From: send, To: send + down})
+			send += down
 		}
 		s.stageT = append(s.stageT, s.rows[s.next])
 		s.stageAt = append(s.stageAt, send+s.netTime)
@@ -222,4 +356,27 @@ func (s *Source) pump(floor time.Duration) {
 		s.stageT = s.stageT[:0]
 		s.stageAt = s.stageAt[:0]
 	}
+}
+
+// effectiveWait is waitFor with burst clauses applied: the schedule the pump
+// sees. Analytic accessors (MeanWait, ExpectedRetrieval) intentionally keep
+// the fault-free schedule — bounds are computed from the advertised
+// behaviour, faults are the surprise.
+func (s *Source) effectiveWait(row int) time.Duration {
+	for _, c := range s.faults {
+		if c.Kind == fault.Burst && row >= c.Row && row < c.Row+c.Rows {
+			return c.Wait
+		}
+	}
+	return s.waitFor(row)
+}
+
+// reproduceTime draws the virtual time a restarted wrapper spends
+// re-producing rows [0, n) it had already delivered, from the fault RNG.
+func (s *Source) reproduceTime(n int) time.Duration {
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		total += s.frng.UniformDelay(s.effectiveWait(i))
+	}
+	return total
 }

@@ -1,0 +1,39 @@
+package traceview
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dqs/internal/sim"
+)
+
+// FaultTimeline renders the fault and recovery events of a trace — source
+// outages, reconnects, retry probes, failovers — one line per event in time
+// order. A trace without fault activity (or a nil trace) renders nothing, so
+// callers can emit the timeline unconditionally after a run.
+func FaultTimeline(w io.Writer, tr *sim.Trace) error {
+	if tr == nil {
+		return nil
+	}
+	var evs []sim.Event
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case sim.EvSourceDown, sim.EvSourceUp, sim.EvRetry, sim.EvFailover:
+			evs = append(evs, e)
+		}
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	if _, err := fmt.Fprintln(w, "fault timeline"); err != nil {
+		return err
+	}
+	for _, e := range evs {
+		if _, err := fmt.Fprintf(w, "%12.6fs  %-11s %s\n", e.At.Seconds(), e.Kind, e.Note); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package traceview
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dqs/internal/sim"
+)
+
+func TestFaultTimeline(t *testing.T) {
+	tr := &sim.Trace{}
+	tr.Add(5*time.Millisecond, sim.EvBatch, "MF(p_A) first batch")
+	tr.Add(30*time.Millisecond, sim.EvRetry, "retry 1/4 to silent wrapper q/D")
+	tr.Add(10*time.Millisecond, sim.EvSourceDown, "wrapper q/D disconnected")
+	tr.Add(40*time.Millisecond, sim.EvFailover, "q/D: replica takes over at row 7")
+	tr.Add(20*time.Millisecond, sim.EvSourceUp, "wrapper q/D reconnected")
+
+	var b strings.Builder
+	if err := FaultTimeline(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "first batch") {
+		t.Error("timeline includes non-fault events")
+	}
+	for _, want := range []string{"fault timeline", "disconnected", "reconnected", "retry 1/4", "replica takes over"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Events render in time order, not insertion order.
+	if strings.Index(out, "disconnected") > strings.Index(out, "retry 1/4") {
+		t.Errorf("timeline not time-sorted:\n%s", out)
+	}
+}
+
+func TestFaultTimelineSilentWithoutFaults(t *testing.T) {
+	var b strings.Builder
+	if err := FaultTimeline(&b, nil); err != nil || b.Len() != 0 {
+		t.Errorf("nil trace: err=%v out=%q", err, b.String())
+	}
+	tr := &sim.Trace{}
+	tr.Add(0, sim.EvBatch, "MF(p_A) first batch")
+	if err := FaultTimeline(&b, tr); err != nil || b.Len() != 0 {
+		t.Errorf("fault-free trace: err=%v out=%q", err, b.String())
+	}
+}
