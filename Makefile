@@ -39,24 +39,30 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Full benchmark run, compared against the committed baseline
-# (BENCH_2.json, recorded after the batched-dataflow rework; BENCH_1.json
-# is kept as the pre-batching reference) via cmd/benchjson: fails if any
-# benchmark regressed more than 20% in ns/op or allocs/op. The raw output
-# is staged in a file under the git-ignored out/ directory so a failing
-# `go test` aborts the target instead of feeding benchjson an empty
-# stream, and the working tree stays clean.
-BENCHFLAGS ?= -benchtime 1s
-BASELINE ?= BENCH_2.json
+# (BENCH_3.json, recorded with the planning cache and BenchmarkReplanEvents;
+# BENCH_2.json is the post-batching reference, BENCH_1.json the pre-batching
+# one) via cmd/benchjson: fails if any benchmark regressed more than 20% in
+# ns/op or allocs/op. The raw output is staged in a file under the
+# git-ignored out/ directory so a failing `go test` aborts the target
+# instead of feeding benchjson an empty stream, and the working tree stays
+# clean.
+# -p 1 serializes the package test binaries: `go test ./...` otherwise runs
+# up to GOMAXPROCS packages concurrently, and co-scheduled benchmarks skew
+# each other's timings by 20%+ — enough to trip (or mask) the gate. -count 3
+# repeats every benchmark; benchjson collapses the repeats to their median,
+# which single 1s runs on a shared machine are too jittery to do without.
+BENCHFLAGS ?= -benchtime 1s -count 3
+BASELINE ?= BENCH_3.json
 bench:
 	@mkdir -p out
-	$(GO) test -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > out/bench.out
+	$(GO) test -p 1 -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > out/bench.out
 	$(GO) run ./cmd/benchjson -path $(BASELINE) < out/bench.out
 
 # Refresh the baseline after a deliberate performance change; commit the
 # updated baseline together with the change that justifies it.
 bench-update:
 	@mkdir -p out
-	$(GO) test -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > out/bench.out
+	$(GO) test -p 1 -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > out/bench.out
 	$(GO) run ./cmd/benchjson -path $(BASELINE) -write < out/bench.out
 
 # CPU and allocation profiles of the DSE-heavy delay-class sweep, the

@@ -50,7 +50,10 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 // parse extracts benchmark result lines from `go test -bench` output. The
 // GOMAXPROCS suffix is stripped from names so baselines written on machines
-// with different core counts stay comparable.
+// with different core counts stay comparable. Repeated measurements of one
+// benchmark (`-count N`) are collapsed to their per-metric median: single
+// 1s runs on a shared machine jitter by 20%+ — enough to trip (or mask)
+// the regression gate — while the median of three is stable.
 func parse(lines []string) []Benchmark {
 	var out []Benchmark
 	for _, line := range lines {
@@ -93,6 +96,60 @@ func parse(lines []string) []Benchmark {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return collapse(out)
+}
+
+// median returns the middle value of vs (mean of the middle two when even).
+// vs must be non-empty and is sorted in place.
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// collapse merges adjacent same-name entries of the sorted result list into
+// one entry holding the per-metric medians.
+func collapse(in []Benchmark) []Benchmark {
+	var out []Benchmark
+	for i := 0; i < len(in); {
+		j := i + 1
+		for j < len(in) && in[j].Name == in[i].Name {
+			j++
+		}
+		if j == i+1 {
+			out = append(out, in[i])
+			i = j
+			continue
+		}
+		group := in[i:j]
+		b := Benchmark{Name: in[i].Name}
+		field := func(get func(Benchmark) float64) float64 {
+			vs := make([]float64, len(group))
+			for k, g := range group {
+				vs[k] = get(g)
+			}
+			return median(vs)
+		}
+		b.NsPerOp = field(func(g Benchmark) float64 { return g.NsPerOp })
+		b.BytesPerOp = field(func(g Benchmark) float64 { return g.BytesPerOp })
+		b.AllocsPerOp = field(func(g Benchmark) float64 { return g.AllocsPerOp })
+		for _, g := range group {
+			for k := range g.Metrics {
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				if _, done := b.Metrics[k]; done {
+					continue
+				}
+				b.Metrics[k] = field(func(g Benchmark) float64 { return g.Metrics[k] })
+			}
+		}
+		out = append(out, b)
+		i = j
+	}
 	return out
 }
 

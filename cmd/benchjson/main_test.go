@@ -1,0 +1,58 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseCollapsesRepeatsToMedian(t *testing.T) {
+	lines := []string{
+		"BenchmarkFoo-8 \t 100 \t 1000 ns/op \t 64 B/op \t 3 allocs/op",
+		"BenchmarkFoo-8 \t 100 \t 3000 ns/op \t 66 B/op \t 3 allocs/op",
+		"BenchmarkFoo-8 \t 100 \t 1200 ns/op \t 65 B/op \t 4 allocs/op",
+		"BenchmarkBar-8 \t 50 \t 500 ns/op \t 2.5 gain%",
+		"BenchmarkBar-8 \t 50 \t 700 ns/op \t 3.5 gain%",
+		"garbage line",
+		"BenchmarkSingle-8 \t 1 \t 42 ns/op",
+	}
+	got := parse(lines)
+	want := []Benchmark{
+		{Name: "Bar", NsPerOp: 600, Metrics: map[string]float64{"gain%": 3}},
+		{Name: "Foo", NsPerOp: 1200, BytesPerOp: 65, AllocsPerOp: 3},
+		{Name: "Single", NsPerOp: 42},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parse = %+v, want %+v", got, want)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	for _, tc := range []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{5}, 5},
+		{[]float64{9, 1}, 5},
+		{[]float64{9, 1, 4}, 4},
+		{[]float64{8, 1, 4, 2}, 3},
+	} {
+		if got := median(append([]float64(nil), tc.in...)); got != tc.want {
+			t.Errorf("median(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRegressedThresholdAndSlack(t *testing.T) {
+	if regressed(100, 119, 0.20, 0) {
+		t.Error("19% flagged as regression")
+	}
+	if !regressed(100, 121, 0.20, 0) {
+		t.Error("21% not flagged")
+	}
+	if regressed(0, 2, 0.20, 2) {
+		t.Error("within-slack alloc jump flagged")
+	}
+	if !regressed(0, 3, 0.20, 2) {
+		t.Error("beyond-slack alloc jump not flagged")
+	}
+}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	dqsbench [-exp all|table1|fig5|fig6|fig7|fig8|position|resilience|ablations] \
-//	         [-reps N] [-parallel N] [-small] [-csv] [-chart] \
+//	         [-reps N] [-parallel N] [-small] [-csv] [-chart] [-plan-cache] \
 //	         [-faults SPEC] [-fault-seed N] \
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -42,6 +42,7 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the sweep to this file")
 		faults     = flag.String("faults", "", "inject a fault scenario into every run, e.g. 'D:drop@5000+2s' (experiments running DPHJ reject it)")
 		faultSeed  = flag.Int64("fault-seed", 1, "random seed of the fault scenario's timing draws")
+		planCache  = flag.Bool("plan-cache", false, "share one plan/decomposition cache across every cell (hit/miss counts go to the stderr summary)")
 	)
 	flag.Parse()
 	if *cpuprofile != "" {
@@ -59,7 +60,7 @@ func main() {
 			f.Close()
 		}()
 	}
-	err := run(*exp, *reps, *parallel, *small, *csv, *chart, *faults, *faultSeed)
+	err := run(*exp, *reps, *parallel, *small, *csv, *chart, *planCache, *faults, *faultSeed)
 	if err == nil && *memprofile != "" {
 		err = writeMemProfile(*memprofile)
 	}
@@ -85,7 +86,7 @@ func writeMemProfile(path string) error {
 	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
-func run(exp string, reps, parallel int, small, csv, chart bool, faults string, faultSeed int64) error {
+func run(exp string, reps, parallel int, small, csv, chart, planCache bool, faults string, faultSeed int64) error {
 	if reps < 1 {
 		return fmt.Errorf("-reps must be at least 1, got %d", reps)
 	}
@@ -95,6 +96,7 @@ func run(exp string, reps, parallel int, small, csv, chart bool, faults string, 
 	o := experiment.DefaultOptions()
 	o.Small = small
 	o.Parallel = parallel
+	o.PlanCache = planCache
 	o.Stats = &experiment.RunStats{}
 	o.Seeds = o.Seeds[:0]
 	for i := 1; i <= reps; i++ {

@@ -6,7 +6,8 @@
 //
 //	dqsrun [-strategy NAME] [-small] [-slow REL=RETRIEVAL_SECONDS]...
 //	       [-wmin DUR] [-mem MB] [-bmt F] [-trace] [-gantt] [-seed N]
-//	       [-faults SPEC] [-fault-seed N] [-partial] [-list-strategies]
+//	       [-faults SPEC] [-fault-seed N] [-partial] [-plan-cache]
+//	       [-list-strategies]
 //
 // Example: watch DSE degrade the blocked chains while wrapper A crawls,
 // with a Gantt chart of fragment lifetimes:
@@ -71,6 +72,7 @@ func main() {
 		faults    = flag.String("faults", "", "fault scenario, e.g. 'C:burst@100+500x300us;D:kill@5000;D:replica,connect=50ms'")
 		faultSeed = flag.Int64("fault-seed", 1, "random seed of the fault scenario's timing draws")
 		partial   = flag.Bool("partial", false, "allow partial results when a wrapper dies with no replica")
+		planCache = flag.Bool("plan-cache", false, "attach the query through a plan/decomposition cache and report its hit/miss counts")
 		list      = flag.Bool("list-strategies", false, "list the registered strategies and exit")
 	)
 	flag.Var(slow, "slow", "slow one relation: REL=RETRIEVAL_SECONDS (repeatable)")
@@ -79,7 +81,7 @@ func main() {
 		listStrategies(os.Stdout)
 		return
 	}
-	if err := run(*strategy, *small, *wmin, *memMB, *bmt, *trace, *gantt, *seed, *faults, *faultSeed, *partial, slow); err != nil {
+	if err := run(*strategy, *small, *wmin, *memMB, *bmt, *trace, *gantt, *seed, *faults, *faultSeed, *partial, *planCache, slow); err != nil {
 		fmt.Fprintln(os.Stderr, "dqsrun:", err)
 		os.Exit(1)
 	}
@@ -100,7 +102,7 @@ func listStrategies(w io.Writer) {
 	}
 }
 
-func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, trace, gantt bool, seed int64, faults string, faultSeed int64, partial bool, slow slowFlags) error {
+func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, trace, gantt bool, seed int64, faults string, faultSeed int64, partial, planCache bool, slow slowFlags) error {
 	var (
 		w   *dqs.Workload
 		err error
@@ -120,6 +122,9 @@ func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, tr
 	cfg.InitialWaitEstimate = wmin
 	cfg.FaultSeed = faultSeed
 	cfg.PartialResults = partial
+	if planCache {
+		cfg.Plans = dqs.NewDecompositionCache()
+	}
 	var tr *sim.Trace
 	if trace || gantt || faults != "" {
 		tr = &sim.Trace{}
@@ -174,5 +179,8 @@ func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, tr
 	fmt.Printf("LWB=%.3fs  total-work=%.3fs  peak-mem=%.1fMB  replans=%d degradations=%d timeouts=%d mem-repairs=%d\n",
 		lwb.Seconds(), res.TotalWork().Seconds(), float64(res.PeakMemBytes)/(1<<20),
 		res.Replans, res.Degradations, res.Timeouts, res.MemRepairs)
+	if planCache {
+		fmt.Printf("plan-cache: hits=%d misses=%d\n", res.PlanCacheHits, res.PlanCacheMisses)
+	}
 	return nil
 }

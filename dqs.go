@@ -34,6 +34,7 @@ import (
 	"dqs/internal/core"
 	"dqs/internal/exec"
 	"dqs/internal/fault"
+	"dqs/internal/optimizer"
 	"dqs/internal/plan"
 	"dqs/internal/relation"
 	"dqs/internal/sim"
@@ -66,7 +67,27 @@ type (
 	FaultReplica = fault.Replica
 	// StrategyInfo describes one registered strategy for listings.
 	StrategyInfo = core.StrategyInfo
+	// DecompositionCache memoizes pipeline-chain decompositions keyed by
+	// plan root; set Config.Plans to one to share decompositions (with
+	// their precomputed ancestor/descendant closures) across repeated runs
+	// of the same plans. Safe for concurrent use.
+	DecompositionCache = plan.DecompositionCache
+	// PlanCache memoizes optimizer output keyed by query shape: repeated
+	// structurally identical queries share one DP enumeration, and literal
+	// rebindings reuse it with freshly bound, re-annotated plans.
+	PlanCache = optimizer.PlanCache
+	// PlanCacheStats snapshots a PlanCache's hit/miss/build counters.
+	PlanCacheStats = optimizer.CacheStats
 )
+
+// NewDecompositionCache returns an empty decomposition cache for
+// Config.Plans.
+func NewDecompositionCache() *DecompositionCache { return plan.NewDecompositionCache() }
+
+// NewPlanCache returns an empty query-shape-keyed optimizer cache. Its
+// Decompositions() layer plugs into Config.Plans so execution reuses the
+// decompositions the optimizer derived.
+func NewPlanCache() *PlanCache { return optimizer.NewPlanCache() }
 
 // ParseFaults builds a fault plan from the compact CLI spec grammar, e.g.
 // "C:burst@100+500x300us;D:drop@5000+2s;A:kill@9000;A:replica,connect=50ms".

@@ -1,12 +1,45 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"dqs/internal/exec"
+	"dqs/internal/plan"
 	"dqs/internal/sim"
 )
+
+// cand is one schedulable fragment considered by a planning pass.
+type cand struct {
+	cs   *chainState
+	frag *exec.Fragment
+	prio time.Duration
+}
+
+// byPriority orders candidates by critical degree descending, breaking ties
+// toward chains with more descendants, then by the precomputed per-chain
+// label for determinism. A concrete sort.Interface keeps the per-planning-
+// point sort off sort.Slice's reflection-based swapper — this runs at every
+// planning point, including the incremental ones.
+type byPriority struct {
+	cands       []cand
+	descendants map[*plan.Chain]int
+}
+
+func (s byPriority) Len() int      { return len(s.cands) }
+func (s byPriority) Swap(i, j int) { s.cands[i], s.cands[j] = s.cands[j], s.cands[i] }
+func (s byPriority) Less(i, j int) bool {
+	ci, cj := &s.cands[i], &s.cands[j]
+	if ci.prio != cj.prio {
+		return ci.prio > cj.prio
+	}
+	di, dj := s.descendants[ci.cs.chain], s.descendants[cj.cs.chain]
+	if di != dj {
+		return di > dj
+	}
+	return ci.cs.sortKey < cj.cs.sortKey
+}
 
 // schedule is one DQS planning phase (§4.5). It:
 //
@@ -18,119 +51,166 @@ import (
 //  3. orders the fragments by critical degree (§4.3), and
 //  4. extracts the longest prefix that fits in the memory grant.
 //
+// When nothing fits, the DQO is asked for a memory-repair split of the most
+// critical candidate and the pass is retried — iteratively, under a split
+// budget, so a pathological plan (or wrong estimates driving the repair in
+// circles) surfaces as a traced error instead of unbounded recursion.
+//
 // It returns the scheduling plan: fragments in strictly decreasing
 // priority. An empty plan with work remaining is resolved by the DQO
-// (memory split or optimistic scheduling) or reported as an error by the
-// caller.
+// (optimistic scheduling) or reported as an error by the caller.
 func (p *dsePolicy) schedule(st *State) ([]*exec.Fragment, error) {
+	med := st.Mediator()
+	splits := 0
+	for {
+		cands := p.candidates(st)
+
+		// Priority order: critical degree descending; ties broken toward
+		// chains that unblock more downstream work, then by name for
+		// determinism.
+		sort.Stable(byPriority{cands, p.descendants})
+
+		// Memory fit: take fragments in priority order while their remaining
+		// build-side growth fits the grant.
+		avail := med.Mem.Available()
+		var sp []*exec.Fragment
+		var skippedTop *cand
+		var skippedAdd int64
+		for i := range cands {
+			c := &cands[i]
+			add := p.estAdd(c.cs.rt, c.frag)
+			if add <= avail {
+				sp = append(sp, c.frag)
+				avail -= add
+				continue
+			}
+			if skippedTop == nil {
+				skippedTop = c
+				skippedAdd = add
+			}
+		}
+		if len(sp) == 0 && skippedTop != nil {
+			// Nothing fits: ask the DQO for a memory-repair split of the most
+			// critical candidate, then re-plan.
+			if p.splitForMemory(skippedTop.cs) {
+				splits++
+				if splits > p.splitBudget {
+					med.Trace.Add(med.Now(), sim.EvMemRepair,
+						"memory-repair split budget (%d) exhausted repairing %s", p.splitBudget, skippedTop.frag.Label)
+					return nil, fmt.Errorf("core: memory-repair split budget (%d) exhausted at one planning point (repairing %s)",
+						p.splitBudget, skippedTop.frag.Label)
+				}
+				continue
+			}
+			// No split can help according to the *estimates* — but estimates
+			// can be wrong (§1: inaccurate statistics). Schedule the top
+			// candidate optimistically: if the build really overflows, the
+			// overflow machinery suspends it and genuine infeasibility is
+			// detected when no suspended fragment can ever resume.
+			med.Trace.Add(med.Now(), sim.EvMemRepair,
+				"optimistic schedule of %s (estimated need %d > available %d)",
+				skippedTop.frag.Label, skippedAdd, avail)
+			sp = append(sp, skippedTop.frag)
+		}
+		return sp, nil
+	}
+}
+
+// candidates assembles the schedulable-fragment set for one planning pass.
+// With incremental replanning on (the default), chains whose cached
+// planning verdict is still valid skip the full eligibility evaluation:
+// cached candidates only recompute their priority from the live waiting
+// time, and cached wait-dependent rejections are re-derived only when the
+// CM estimate they read has changed. Structural transitions invalidate the
+// per-chain cache (see chainState), so the incremental pass is
+// byte-identical to the full one.
+func (p *dsePolicy) candidates(st *State) []cand {
 	med := st.Mediator()
 	// Lift memory suspensions once the grant has visibly grown.
 	for _, cs := range p.states {
 		if cs.memSuspended && med.Mem.Available() > cs.suspendAvail {
 			cs.memSuspended = false
+			cs.invalidate()
 		}
 	}
-
-	type cand struct {
-		cs   *chainState
-		frag *exec.Fragment
-		prio time.Duration
-	}
-	var cands []cand
+	cands := make([]cand, 0, len(p.states))
 	for _, cs := range p.states {
-		seg := cs.active()
-		if seg == nil || cs.memSuspended {
-			continue
-		}
-		rt := cs.rt
-		// Input readiness: the first segment reads its wrapper queue; later
-		// segments need the previous segment's temp to be complete.
-		if cs.cur > 0 {
-			prev := cs.segs[cs.cur-1]
-			if prev.frag == nil || !prev.frag.Done() {
+		if p.incremental && cs.pcValid {
+			if cs.pcCand {
+				// Eligibility of a known candidate does not depend on the
+				// waiting time — only its priority does.
+				cands = append(cands, cand{cs: cs, frag: cs.pcFrag,
+					prio: priorityFrom(cs.pcFrag, fragmentWait(cs.rt, cs.pcFrag), cs.pcCp)})
 				continue
 			}
-		}
-		if !p.tablesComplete(cs, seg) {
-			// Degradation consideration (§4.4): only plain, never-started,
-			// never-degraded full PCs qualify.
-			if cs.degraded || len(cs.segs) != 1 || seg.started() {
-				continue
+			if !cs.pcUsedWait || cs.rt.Wait(cs.chain) == cs.pcWait {
+				continue // rejection verdict still holds
 			}
-			w := rt.Wait(cs.chain)
-			n := cs.chain.Scan.Rel.Cardinality
-			if CriticalDegree(rt, cs.chain, n, w) <= 0 {
-				continue
-			}
-			if bmi := BMI(rt, cs.chain); bmi <= rt.Cfg.BMT {
-				continue
-			}
-			cs.splitActive(seg.fromStep) // MF [0,0) + CF [0,len)
-			cs.degraded = true
-			med.CountDegrade()
-			med.Trace.Add(med.Now(), sim.EvDegrade, "degrade %s%s (bmi=%.2f > bmt=%.2f)",
-				prefixLabel(rt.Label), cs.chain.Name, BMI(rt, cs.chain), rt.Cfg.BMT)
-			seg = cs.active() // the MF: no probed tables, always C-schedulable
 		}
-		if seg.frag == nil {
-			seg.frag = rt.NewSegment(cs.chain, seg.fromStep, seg.toStep, cs.prevTemp(), cs.cur == len(cs.segs)-1)
+		if c, ok := p.evalChain(st, cs); ok {
+			cands = append(cands, c)
 		}
-		if seg.frag.Done() {
-			continue
-		}
-		cands = append(cands, cand{cs: cs, frag: seg.frag, prio: fragmentPriority(rt, seg.frag)})
 	}
+	return cands
+}
 
-	// Priority order: critical degree descending; ties broken toward
-	// chains that unblock more downstream work, then by name for
-	// determinism.
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].prio != cands[j].prio {
-			return cands[i].prio > cands[j].prio
-		}
-		di, dj := p.descendants[cands[i].cs.chain], p.descendants[cands[j].cs.chain]
-		if di != dj {
-			return di > dj
-		}
-		li := cands[i].cs.rt.Label + cands[i].cs.chain.Name
-		lj := cands[j].cs.rt.Label + cands[j].cs.chain.Name
-		return li < lj
-	})
+// evalChain runs the full eligibility evaluation of one chain — input
+// readiness, C-schedulability, the §4.4 degradation consideration, lazy
+// fragment creation — and records the verdict in the chain's planning
+// cache.
+func (p *dsePolicy) evalChain(st *State, cs *chainState) (cand, bool) {
+	med := st.Mediator()
+	cs.pcCand, cs.pcFrag, cs.pcCp = false, nil, 0
+	cs.pcUsedWait, cs.pcWait = false, 0
+	// The verdict is recorded whichever way the evaluation exits; the defer
+	// also re-validates after a mid-evaluation splitActive (degradation)
+	// invalidated the cache.
+	defer func() { cs.pcValid = true }()
 
-	// Memory fit: take fragments in priority order while their remaining
-	// build-side growth fits the grant.
-	avail := med.Mem.Available()
-	var sp []*exec.Fragment
-	var skippedTop *cand
-	for i := range cands {
-		c := &cands[i]
-		add := p.estAdd(c.cs.rt, c.frag)
-		if add <= avail {
-			sp = append(sp, c.frag)
-			avail -= add
-			continue
-		}
-		if skippedTop == nil {
-			skippedTop = c
+	seg := cs.active()
+	if seg == nil || cs.memSuspended {
+		return cand{}, false
+	}
+	rt := cs.rt
+	// Input readiness: the first segment reads its wrapper queue; later
+	// segments need the previous segment's temp to be complete.
+	if cs.cur > 0 {
+		prev := cs.segs[cs.cur-1]
+		if prev.frag == nil || !prev.frag.Done() {
+			return cand{}, false
 		}
 	}
-	if len(sp) == 0 && skippedTop != nil {
-		// Nothing fits: ask the DQO for a memory-repair split of the most
-		// critical candidate, then re-plan.
-		if p.splitForMemory(skippedTop.cs) {
-			return p.schedule(st)
+	if !p.tablesComplete(cs, seg) {
+		// Degradation consideration (§4.4): only plain, never-started,
+		// never-degraded full PCs qualify.
+		if cs.degraded || len(cs.segs) != 1 || seg.started() {
+			return cand{}, false
 		}
-		// No split can help according to the *estimates* — but estimates
-		// can be wrong (§1: inaccurate statistics). Schedule the top
-		// candidate optimistically: if the build really overflows, the
-		// overflow machinery suspends it and genuine infeasibility is
-		// detected when no suspended fragment can ever resume.
-		med.Trace.Add(med.Now(), sim.EvMemRepair,
-			"optimistic schedule of %s (estimated need %d > available %d)",
-			skippedTop.frag.Label, p.estAdd(skippedTop.cs.rt, skippedTop.frag), med.Mem.Available())
-		sp = append(sp, skippedTop.frag)
+		w := rt.Wait(cs.chain)
+		cs.pcUsedWait, cs.pcWait = true, w
+		n := cs.chain.Scan.Rel.Cardinality
+		if CriticalDegree(rt, cs.chain, n, w) <= 0 {
+			return cand{}, false
+		}
+		if bmi := BMI(rt, cs.chain); bmi <= rt.Cfg.BMT {
+			return cand{}, false
+		}
+		cs.splitActive(seg.fromStep) // MF [0,0) + CF [0,len)
+		cs.degraded = true
+		med.CountDegrade()
+		med.Trace.Add(med.Now(), sim.EvDegrade, "degrade %s%s (bmi=%.2f > bmt=%.2f)",
+			prefixLabel(rt.Label), cs.chain.Name, BMI(rt, cs.chain), rt.Cfg.BMT)
+		seg = cs.active() // the MF: no probed tables, always C-schedulable
 	}
-	return sp, nil
+	if seg.frag == nil {
+		seg.frag = rt.NewSegment(cs.chain, seg.fromStep, seg.toStep, cs.prevTemp(), cs.cur == len(cs.segs)-1)
+	}
+	if seg.frag.Done() {
+		return cand{}, false
+	}
+	cp := fragmentCost(rt, seg.frag)
+	cs.pcCand, cs.pcFrag, cs.pcCp = true, seg.frag, cp
+	return cand{cs: cs, frag: seg.frag, prio: priorityFrom(seg.frag, fragmentWait(rt, seg.frag), cp)}, true
 }
 
 // estAdd estimates the additional memory a fragment will reserve: the

@@ -28,6 +28,17 @@ type dsePolicy struct {
 
 	// byRuntime groups chain states per query, for completion tracking.
 	byRuntime map[*exec.Runtime][]*chainState
+
+	// incremental enables the per-chain planning cache (on unless
+	// Config.FullReplan forces the always-full evaluation path; the two are
+	// byte-identical by construction and differential-tested).
+	incremental bool
+	// splitBudget bounds the memory-repair splits of one planning point.
+	// Every split consumes at least one chain step for its head segment, so
+	// a legitimate repair sequence can never need more than the total step
+	// count (plus one degenerate top split per chain); exceeding the budget
+	// means the repair loop is not converging.
+	splitBudget int
 }
 
 // NewDSEPolicy builds the paper's dynamic scheduling policy over the
@@ -40,12 +51,14 @@ func NewDSEPolicy(st *State) (Policy, error) {
 		descendants: make(map[*plan.Chain]int),
 		byRuntime:   make(map[*exec.Runtime][]*chainState),
 	}
+	p.incremental = !st.Config().FullReplan
 	for _, rt := range st.Runtimes() {
 		for _, c := range rt.Dec.Chains {
 			cs := &chainState{
-				rt:    rt,
-				chain: c,
-				segs:  []*segSpec{{fromStep: 0, toStep: len(c.Joins)}},
+				rt:      rt,
+				chain:   c,
+				sortKey: rt.Label + c.Name,
+				segs:    []*segSpec{{fromStep: 0, toStep: len(c.Joins)}},
 			}
 			p.states = append(p.states, cs)
 			p.stateOf[c] = cs
@@ -54,6 +67,7 @@ func NewDSEPolicy(st *State) (Policy, error) {
 				p.proberOf[j] = cs
 			}
 			p.descendants[c] = len(rt.Dec.Descendants(c))
+			p.splitBudget += len(c.Joins) + 2
 		}
 	}
 	return p, nil
@@ -116,10 +130,16 @@ func (p *dsePolicy) Plan(st *State) (SchedulingPlan, error) {
 func (p *dsePolicy) OnEvent(st *State, ev Event) error {
 	med := st.Mediator()
 	switch ev.Kind {
-	case EventEndOfQF, EventSPDone, EventSourceDown, EventSourceUp, EventFailover:
+	case EventEndOfQF, EventSPDone:
+		p.advanceFinished(st)
+	case EventSourceDown, EventSourceUp, EventFailover:
 		// Fault transitions and recoveries end the phase like completions
 		// do: abandoned fragments read as Done, failover brings fresh
 		// arrivals — either way the next planning point sees current state.
+		// They are structural for the planning cache: delivery streams swap
+		// and fragments complete with partial state, so every cached
+		// verdict is suspect.
+		p.invalidateAll()
 		p.advanceFinished(st)
 	case EventRateChange:
 		// Replanning with the fresh estimates happens at the next planning
@@ -145,12 +165,21 @@ func (p *dsePolicy) OnEvent(st *State, ev Event) error {
 // its next segment, and records query completion times.
 func (p *dsePolicy) advanceFinished(st *State) {
 	for _, cs := range p.states {
+		advanced := false
 		for {
 			seg := cs.active()
 			if seg == nil || seg.frag == nil || !seg.frag.Done() {
 				break
 			}
 			cs.advance()
+			advanced = true
+		}
+		// Completing the chain seals the hash table it builds, which can
+		// turn its prober C-schedulable — drop the prober's cached verdict.
+		if advanced && cs.complete && cs.chain.BuildsFor != nil {
+			if prober := p.proberOf[cs.chain.BuildsFor]; prober != nil {
+				prober.invalidate()
+			}
 		}
 	}
 	for rt, chains := range p.byRuntime {
@@ -164,6 +193,13 @@ func (p *dsePolicy) advanceFinished(st *State) {
 		if finished {
 			st.MarkQueryDone(rt)
 		}
+	}
+}
+
+// invalidateAll drops every chain's cached planning verdict.
+func (p *dsePolicy) invalidateAll() {
+	for _, cs := range p.states {
+		cs.invalidate()
 	}
 }
 

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dqs/internal/exec"
+	"dqs/internal/sim"
+)
+
+// TestIncrementalReplanMatchesFullUnderMemoryPressure is the core-level
+// differential check of the planning cache on the path the experiment-level
+// tests do not stress: a memory grant tight enough to force suspensions and
+// memory-repair splits at planning points.
+func TestIncrementalReplanMatchesFullUnderMemoryPressure(t *testing.T) {
+	w := smallFig5(t)
+	del := uniform(w, 10*time.Microsecond)
+	run := func(full bool) exec.Result {
+		cfg := testConfig()
+		cfg.MemoryBytes = 1 << 20
+		cfg.FullReplan = full
+		res, err := RunDSE(newRT(t, w, cfg, del))
+		if err != nil {
+			t.Fatalf("full=%v: %v", full, err)
+		}
+		return res
+	}
+	ref, inc := run(true), run(false)
+	if ref.MemRepairs == 0 {
+		t.Fatal("1MB grant triggered no memory repairs; the test lost its point")
+	}
+	if !reflect.DeepEqual(ref, inc) {
+		t.Errorf("incremental replanning diverged from full under memory pressure:\nfull:        %+v\nincremental: %+v", ref, inc)
+	}
+}
+
+// TestSplitBudgetExhaustion forces the memory-repair loop over its split
+// budget and expects the traced, descriptive error the budget was added
+// for — the failure mode used to be unbounded recursion.
+func TestSplitBudgetExhaustion(t *testing.T) {
+	w := smallFig5(t)
+	del := uniform(w, 10*time.Microsecond)
+	tr := &sim.Trace{}
+	cfg := testConfig()
+	cfg.MemoryBytes = 1 << 20 // tight enough that DSE must split for memory
+	cfg.Trace = tr
+	rt := newRT(t, w, cfg, del)
+	eng, err := NewPolicyEngine(rt.Med, []*exec.Runtime{rt}, func(st *State) (Policy, error) {
+		pol, err := NewDSEPolicy(st)
+		if err != nil {
+			return nil, err
+		}
+		pol.(*dsePolicy).splitBudget = 0
+		return pol, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run()
+	if err == nil {
+		t.Fatal("zero split budget on a memory-starved run did not error")
+	}
+	if !strings.Contains(err.Error(), "split budget") {
+		t.Errorf("err = %v, want the split-budget diagnostic", err)
+	}
+	if tr.Count(sim.EvMemRepair) == 0 {
+		t.Error("budget exhaustion left no memory-repair trace entry")
+	}
+}
+
+// TestSplitBudgetCoversLegitimateRepairs pins the budget's sizing claim:
+// the memory-starved runs the suite already exercises stay strictly inside
+// the default budget (every split consumes a chain step, so the step count
+// bounds any converging repair sequence).
+func TestSplitBudgetCoversLegitimateRepairs(t *testing.T) {
+	w := smallFig5(t)
+	del := uniform(w, 10*time.Microsecond)
+	cfg := testConfig()
+	cfg.MemoryBytes = 1 << 20
+	res, err := RunDSE(newRT(t, w, cfg, del))
+	if err != nil {
+		t.Fatalf("default budget rejected a legitimate repair sequence: %v", err)
+	}
+	if res.MemRepairs == 0 {
+		t.Fatal("1MB grant triggered no memory repairs; the test lost its point")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dqs/internal/fault"
+	"dqs/internal/plan"
 	"dqs/internal/sim"
 	"dqs/internal/source"
 )
@@ -74,6 +75,17 @@ type Config struct {
 	// toggle exists so differential tests can prove it. Off (batched) in
 	// production.
 	PerTupleDataflow bool
+	// FullReplan switches the DQS policy back to re-deriving every chain's
+	// eligibility at every planning point instead of reusing cached
+	// verdicts for chains untouched by the phase's events. The two paths
+	// are bit-identical by construction; the toggle exists so differential
+	// tests can prove it. Off (incremental) in production.
+	FullReplan bool
+	// Plans, when non-nil, memoizes pipeline-chain decompositions keyed by
+	// plan root, so repeated runs of the same (immutable) plan share one
+	// decomposition with precomputed closures. Safe to share across
+	// concurrent runs; nil decomposes per run.
+	Plans *plan.DecompositionCache
 	// Faults, when active, injects the plan's per-wrapper fault clauses into
 	// this run's sources and arms the engine-side resilience machinery
 	// (silence detection, bounded retry, failover, partial results). A nil

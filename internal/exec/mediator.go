@@ -39,6 +39,8 @@ type Mediator struct {
 	degrades   int
 	timeouts   int
 	memRepairs int
+	planHits   int
+	planMisses int
 }
 
 // NewMediator builds an empty mediator from a validated configuration.
@@ -101,9 +103,16 @@ func (m *Mediator) Now() time.Duration { return m.Clock.Now() }
 // the same relation get independent sub-queries, as the mediator/wrapper
 // architecture prescribes.
 func (m *Mediator) AddQuery(label string, root *plan.Node, ds relation.Dataset, deliveries map[string]Delivery) (*Runtime, error) {
-	dec, err := plan.Decompose(root)
+	dec, hit, err := m.Cfg.Plans.Load(root)
 	if err != nil {
 		return nil, err
+	}
+	if m.Cfg.Plans != nil {
+		if hit {
+			m.planHits++
+		} else {
+			m.planMisses++
+		}
 	}
 	m.queries++
 	rt := &Runtime{

@@ -39,6 +39,11 @@ type Result struct {
 	// mode because their wrapper died with no replica; empty for complete
 	// executions.
 	DegradedFragments []string
+	// PlanCacheHits and PlanCacheMisses count decomposition-cache lookups
+	// made while attaching this run's queries (zero without a configured
+	// cache).
+	PlanCacheHits   int
+	PlanCacheMisses int
 }
 
 // Equal reports field-by-field equality, treating DegradedFragments as a
@@ -64,7 +69,9 @@ func (r Result) Equal(o Result) bool {
 		r.Degradations == o.Degradations &&
 		r.Timeouts == o.Timeouts &&
 		r.MemRepairs == o.MemRepairs &&
-		r.MaxEstError == o.MaxEstError
+		r.MaxEstError == o.MaxEstError &&
+		r.PlanCacheHits == o.PlanCacheHits &&
+		r.PlanCacheMisses == o.PlanCacheMisses
 }
 
 // TotalWork returns busy CPU time plus disk busy time: the "total work"
@@ -110,5 +117,7 @@ func (rt *Runtime) FinishAt(strategy string, response time.Duration) Result {
 		MemRepairs:         m.memRepairs,
 		MaxEstError:        rt.MaxEstErrorFactor(),
 		DegradedFragments:  rt.degraded,
+		PlanCacheHits:      m.planHits,
+		PlanCacheMisses:    m.planMisses,
 	}
 }

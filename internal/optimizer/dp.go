@@ -20,12 +20,32 @@ type entry struct {
 	pred  int     // index of the crossing predicate
 }
 
+// solution is the memoized outcome of one DP enumeration: the solved
+// subset table plus the relation indexing it was built over — everything
+// construct needs to materialize the best plan. A solution is immutable
+// once solve returns, so it can back concurrent construct calls.
+type solution struct {
+	rels []*relation.Relation
+	idx  map[string]int
+	best map[uint32]*entry
+	full uint32
+}
+
 // Optimize enumerates bushy join trees with dynamic programming over
 // connected subsets, minimizing the classical C_out cost (the sum of
 // intermediate-result cardinalities), and returns a validated, annotated
 // physical plan. The smaller input of each join becomes the blocking build
 // side.
 func Optimize(cat *relation.Catalog, q *Query, stats *plan.Stats) (*plan.Node, error) {
+	sol, err := solve(cat, q, stats)
+	if err != nil {
+		return nil, err
+	}
+	return sol.construct(q, stats)
+}
+
+// solve runs the DP enumeration and returns the solved subset table.
+func solve(cat *relation.Catalog, q *Query, stats *plan.Stats) (*solution, error) {
 	if err := q.Validate(cat); err != nil {
 		return nil, err
 	}
@@ -101,8 +121,17 @@ func Optimize(cat *relation.Catalog, q *Query, stats *plan.Stats) (*plan.Node, e
 	if best[full] == nil {
 		return nil, fmt.Errorf("optimizer: no plan found (disconnected join graph?)")
 	}
+	return &solution{rels: rels, idx: idx, best: best, full: full}, nil
+}
+
+// construct materializes the solution into a fresh, annotated plan tree for
+// the given literal binding: scan predicates and row estimates come from
+// q.Filters and stats, while the join order is the solved one. Each call
+// builds independent nodes, so constructed plans never share mutable
+// structure.
+func (s *solution) construct(q *Query, stats *plan.Stats) (*plan.Node, error) {
 	b := plan.NewBuilder()
-	root, err := buildNode(b, q, rels, idx, best, full)
+	root, err := buildNode(b, q, s.rels, s.idx, s.best, s.full)
 	if err != nil {
 		return nil, err
 	}

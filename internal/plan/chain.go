@@ -62,6 +62,13 @@ type Decomposition struct {
 	builderOf map[int]*Chain
 	// chainOfScan maps a scanned relation name to its chain.
 	chainOfScan map[string]*Chain
+	// ancStar and desc are the transitive ancestor/descendant closures,
+	// indexed by chain ID and precomputed once in Decompose: schedulers
+	// query them at every planning point, and a cached decomposition is
+	// shared across runs, so the closures must be derived exactly once.
+	// The inner slices are shared and must be treated as read-only.
+	ancStar [][]*Chain
+	desc    [][]*Chain
 }
 
 // Decompose computes the pipeline-chain decomposition of a validated plan.
@@ -113,7 +120,51 @@ func Decompose(root *Node) (*Decomposition, error) {
 			return nil, fmt.Errorf("plan: join J%d has no building chain", j.ID)
 		}
 	}
+	d.closeChains()
 	return d, nil
+}
+
+// closeChains precomputes the transitive ancestor and descendant closures of
+// every chain, both in deterministic chain-ID order.
+func (d *Decomposition) closeChains() {
+	d.ancStar = make([][]*Chain, len(d.Chains))
+	d.desc = make([][]*Chain, len(d.Chains))
+	seen := make([]bool, len(d.Chains))
+	for _, c := range d.Chains {
+		for i := range seen {
+			seen[i] = false
+		}
+		var visit func(*Chain)
+		visit = func(x *Chain) {
+			for _, a := range d.Ancestors(x) {
+				if !seen[a.ID] {
+					seen[a.ID] = true
+					visit(a)
+				}
+			}
+		}
+		visit(c)
+		n := 0
+		for _, ok := range seen {
+			if ok {
+				n++
+			}
+		}
+		out := make([]*Chain, 0, n)
+		for _, ch := range d.Chains {
+			if seen[ch.ID] {
+				out = append(out, ch)
+			}
+		}
+		d.ancStar[c.ID] = out
+	}
+	// Invert: iterating others in chain-ID order keeps each descendant list
+	// in chain-ID order too.
+	for _, other := range d.Chains {
+		for _, a := range d.ancStar[other.ID] {
+			d.desc[a.ID] = append(d.desc[a.ID], other)
+		}
+	}
 }
 
 // ChainOf returns the chain scanning the named relation.
@@ -137,44 +188,18 @@ func (d *Decomposition) Ancestors(c *Chain) []*Chain {
 }
 
 // AncestorsStar returns the transitive closure of the ancestor relation for
-// chain c, excluding c itself, in deterministic (chain-ID) order.
+// chain c, excluding c itself, in deterministic (chain-ID) order. The
+// returned slice is the precomputed closure and must not be mutated.
 func (d *Decomposition) AncestorsStar(c *Chain) []*Chain {
-	seen := make(map[int]bool)
-	var visit func(*Chain)
-	visit = func(x *Chain) {
-		for _, a := range d.Ancestors(x) {
-			if !seen[a.ID] {
-				seen[a.ID] = true
-				visit(a)
-			}
-		}
-	}
-	visit(c)
-	out := make([]*Chain, 0, len(seen))
-	for _, ch := range d.Chains {
-		if seen[ch.ID] {
-			out = append(out, ch)
-		}
-	}
-	return out
+	return d.ancStar[c.ID]
 }
 
 // Descendants returns every chain that (transitively) depends on c through
-// blocking edges — the work that cannot be scheduled until c terminates.
+// blocking edges — the work that cannot be scheduled until c terminates —
+// in deterministic (chain-ID) order. The returned slice is the precomputed
+// closure and must not be mutated.
 func (d *Decomposition) Descendants(c *Chain) []*Chain {
-	var out []*Chain
-	for _, other := range d.Chains {
-		if other == c {
-			continue
-		}
-		for _, a := range d.AncestorsStar(other) {
-			if a == c {
-				out = append(out, other)
-				break
-			}
-		}
-	}
-	return out
+	return d.desc[c.ID]
 }
 
 // TopoOrder returns the chains in a blocking-dependency topological order
