@@ -39,9 +39,10 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Full benchmark run, compared against the committed baseline
-# (BENCH_3.json, recorded with the planning cache and BenchmarkReplanEvents;
-# BENCH_2.json is the post-batching reference, BENCH_1.json the pre-batching
-# one) via cmd/benchjson: fails if any benchmark regressed more than 20% in
+# (BENCH_4.json, recorded with the columnar dataflow, pre-sized joins and
+# the ColumnarScan/HashBuild benchmarks; BENCH_3.json is the planning-cache
+# reference, BENCH_2.json post-batching, BENCH_1.json pre-batching) via
+# cmd/benchjson: fails if any benchmark regressed more than 20% in
 # ns/op or allocs/op. The raw output is staged in a file under the
 # git-ignored out/ directory so a failing `go test` aborts the target
 # instead of feeding benchjson an empty stream, and the working tree stays
@@ -52,7 +53,7 @@ benchsmoke:
 # repeats every benchmark; benchjson collapses the repeats to their median,
 # which single 1s runs on a shared machine are too jittery to do without.
 BENCHFLAGS ?= -benchtime 1s -count 3
-BASELINE ?= BENCH_3.json
+BASELINE ?= BENCH_4.json
 bench:
 	@mkdir -p out
 	$(GO) test -p 1 -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > out/bench.out

@@ -63,6 +63,18 @@ type Queue struct {
 	arrived   int
 	arrivedAt time.Duration
 
+	// Columnar mode: when colMode is set the ring carries flat per-column
+	// values (cols[c][slot], only the projected live columns) plus a
+	// pushdown pass mask instead of row tuples. A slot whose pass bit is
+	// false was filtered by the wrapper-side predicate: its window slot,
+	// arrival timestamp and estimator feed are all real — scheduling and
+	// flow control are defined on pre-filter arrivals — but its values never
+	// crossed the wire and its ring storage is never read.
+	colMode bool
+	colw    int
+	cols    [][]int64
+	pass    []bool
+
 	producer Producer
 	est      *RateEstimator
 	observed int // ring-relative count of arrivals already fed to est
@@ -122,6 +134,8 @@ func (q *Queue) Reset(name string) {
 		q.tuples[i] = nil
 	}
 	q.name = name
+	q.colMode = false
+	q.colw = 0
 	q.head = 0
 	q.size = 0
 	q.debt = 0
@@ -133,6 +147,42 @@ func (q *Queue) Reset(name string) {
 	q.totalPopped = 0
 	q.est.Reset()
 }
+
+// SetColumnar switches an empty queue's ring into columnar mode with the
+// given live-column count (the projected columns that actually cross the
+// wire; width 0 is legal when every referenced column is filtered away by
+// projection). The row-oriented Push/Pop entry points are disabled; the
+// producer must use PushColsN and the consumer PopColsN. Window, arrival and
+// estimator accounting are completely unchanged — columnar mode only swaps
+// what a ring slot stores.
+func (q *Queue) SetColumnar(width int) {
+	if q.size != 0 || q.debt != 0 {
+		panic(fmt.Sprintf("comm: queue %q: SetColumnar on non-empty queue", q.name))
+	}
+	if width < 0 {
+		panic(fmt.Sprintf("comm: queue %q: negative columnar width %d", q.name, width))
+	}
+	q.colMode = true
+	q.colw = width
+	for len(q.cols) < width {
+		q.cols = append(q.cols, nil)
+	}
+	for c := 0; c < width; c++ {
+		if cap(q.cols[c]) < q.capacity {
+			q.cols[c] = make([]int64, q.capacity)
+		} else {
+			q.cols[c] = q.cols[c][:q.capacity]
+		}
+	}
+	if cap(q.pass) < q.capacity {
+		q.pass = make([]bool, q.capacity)
+	} else {
+		q.pass = q.pass[:q.capacity]
+	}
+}
+
+// Columnar reports whether the ring is in columnar mode.
+func (q *Queue) Columnar() bool { return q.colMode }
 
 // idx maps a head-relative offset to a physical ring index. The capacity
 // is not a power of two, so the ring index wraps with a branch instead of a
@@ -148,6 +198,9 @@ func (q *Queue) idx(i int) int {
 // Push appends a tuple with its arrival time. It panics if the queue is
 // full or arrivals go backwards: both indicate a wrapper simulation bug.
 func (q *Queue) Push(t relation.Tuple, arrival time.Duration) {
+	if q.colMode {
+		panic(fmt.Sprintf("comm: queue %q: row push on columnar queue", q.name))
+	}
 	if q.Full() {
 		panic(fmt.Sprintf("comm: queue %q: push on full queue", q.name))
 	}
@@ -172,6 +225,9 @@ func (q *Queue) Push(t relation.Tuple, arrival time.Duration) {
 // times, equivalent to calling Push once per element but with the ring and
 // cache bookkeeping done on whole segments.
 func (q *Queue) PushN(tuples []relation.Tuple, arrivals []time.Duration) {
+	if q.colMode {
+		panic(fmt.Sprintf("comm: queue %q: row push on columnar queue", q.name))
+	}
 	n := len(tuples)
 	if n != len(arrivals) {
 		panic(fmt.Sprintf("comm: queue %q: PushN length mismatch: %d tuples, %d arrivals", q.name, n, len(arrivals)))
@@ -179,7 +235,70 @@ func (q *Queue) PushN(tuples []relation.Tuple, arrivals []time.Duration) {
 	if n == 0 {
 		return
 	}
-	if q.size+q.debt+n > q.capacity {
+	start := q.pushPrep(arrivals)
+	first := n
+	if start+first > q.capacity {
+		first = q.capacity - start
+	}
+	copy(q.tuples[start:], tuples[:first])
+	copy(q.arrivals[start:], arrivals[:first])
+	if first < n {
+		copy(q.tuples, tuples[first:])
+		copy(q.arrivals, arrivals[first:])
+	}
+	q.pushCommit(arrivals)
+}
+
+// PushColsN is the columnar PushN: it appends a run of slots whose values
+// arrive as flat per-column segments (vals[c][i] is column c of slot i) plus
+// a pushdown pass mask. Filtered slots (pass[i] false) occupy a real window
+// slot with a real arrival — flow control and rate estimation are defined on
+// pre-filter arrivals — but their positions in vals are unspecified and are
+// never read. Window, monotonicity and arrived-prefix bookkeeping are
+// identical to PushN.
+func (q *Queue) PushColsN(vals [][]int64, pass []bool, arrivals []time.Duration) {
+	if !q.colMode {
+		panic(fmt.Sprintf("comm: queue %q: columnar push on row queue", q.name))
+	}
+	n := len(arrivals)
+	if len(pass) != n {
+		panic(fmt.Sprintf("comm: queue %q: PushColsN length mismatch: %d pass bits, %d arrivals", q.name, len(pass), n))
+	}
+	if len(vals) != q.colw {
+		panic(fmt.Sprintf("comm: queue %q: PushColsN width mismatch: %d columns, ring has %d", q.name, len(vals), q.colw))
+	}
+	for c, col := range vals {
+		if len(col) != n {
+			panic(fmt.Sprintf("comm: queue %q: PushColsN column %d has %d values, want %d", q.name, c, len(col), n))
+		}
+	}
+	if n == 0 {
+		return
+	}
+	start := q.pushPrep(arrivals)
+	first := n
+	if start+first > q.capacity {
+		first = q.capacity - start
+	}
+	for c, col := range vals {
+		copy(q.cols[c][start:], col[:first])
+	}
+	copy(q.pass[start:], pass[:first])
+	copy(q.arrivals[start:], arrivals[:first])
+	if first < n {
+		for c, col := range vals {
+			copy(q.cols[c], col[first:])
+		}
+		copy(q.pass, pass[first:])
+		copy(q.arrivals, arrivals[first:])
+	}
+	q.pushCommit(arrivals)
+}
+
+// pushPrep validates window room and arrival monotonicity for a bulk push of
+// len(arrivals) slots and returns the physical ring index the run starts at.
+func (q *Queue) pushPrep(arrivals []time.Duration) int {
+	if q.size+q.debt+len(arrivals) > q.capacity {
 		panic(fmt.Sprintf("comm: queue %q: push on full queue", q.name))
 	}
 	last := arrivals[0]
@@ -192,20 +311,12 @@ func (q *Queue) PushN(tuples []relation.Tuple, arrivals []time.Duration) {
 		}
 		last = at
 	}
-	// Copy in at most two contiguous segments.
-	start := q.idx(q.size)
-	first := n
-	if start+first > q.capacity {
-		first = q.capacity - start
-	}
-	copy(q.tuples[start:], tuples[:first])
-	copy(q.arrivals[start:], arrivals[:first])
-	if first < n {
-		copy(q.tuples, tuples[first:])
-		copy(q.arrivals, arrivals[first:])
-	}
-	// Advance the arrived-prefix cache over the appended run, same as the
-	// per-element Push rule.
+	return q.idx(q.size)
+}
+
+// pushCommit advances the arrived-prefix cache over the appended run — the
+// same rule as per-element Push — and publishes the new size.
+func (q *Queue) pushCommit(arrivals []time.Duration) {
 	if q.arrived == q.size {
 		for _, at := range arrivals {
 			if at > q.arrivedAt {
@@ -214,7 +325,7 @@ func (q *Queue) PushN(tuples []relation.Tuple, arrivals []time.Duration) {
 			q.arrived++
 		}
 	}
-	q.size += n
+	q.size += len(arrivals)
 }
 
 // Available returns how many buffered tuples have arrived by time now. For
@@ -262,6 +373,9 @@ func (q *Queue) NextArrival() (time.Duration, bool) {
 // arrived by now or the queue is empty: the engine must check Available
 // first. Popping frees a window slot, so the producer is resumed.
 func (q *Queue) Pop(now time.Duration) relation.Tuple {
+	if q.colMode {
+		panic(fmt.Sprintf("comm: queue %q: row pop on columnar queue", q.name))
+	}
 	if q.size == 0 {
 		panic(fmt.Sprintf("comm: queue %q: pop on empty queue", q.name))
 	}
@@ -294,6 +408,9 @@ func (q *Queue) Pop(now time.Duration) relation.Tuple {
 // virtual instant it processes it. Ring and cache bookkeeping is done once
 // per call instead of once per tuple.
 func (q *Queue) PopN(now time.Duration, dst []relation.Tuple) int {
+	if q.colMode {
+		panic(fmt.Sprintf("comm: queue %q: row pop on columnar queue", q.name))
+	}
 	n := q.Available(now)
 	if n > len(dst) {
 		n = len(dst)
@@ -309,6 +426,53 @@ func (q *Queue) PopN(now time.Duration, dst []relation.Tuple) int {
 	if first < n {
 		copy(dst[first:], q.tuples[:n-first])
 	}
+	q.popCommit(n)
+	return n
+}
+
+// PopColsN is the columnar PopN: it bulk-moves up to len(pass) arrived slots
+// into dst (which must be Reset to this queue's columnar width) and the
+// per-slot pass mask into pass, returning how many slots it moved. Filtered
+// slots are transferred too — the consumer owes each one its credit at the
+// virtual instant it reaches it, just like a passing tuple — but their batch
+// positions hold unspecified values masked by pass. Window/debt/estimator
+// accounting is slot-for-slot identical to PopN.
+func (q *Queue) PopColsN(now time.Duration, dst *relation.Batch, pass []bool) int {
+	if !q.colMode {
+		panic(fmt.Sprintf("comm: queue %q: columnar pop on row queue", q.name))
+	}
+	if dst.Width() != q.colw {
+		panic(fmt.Sprintf("comm: queue %q: PopColsN into width-%d batch, ring has %d columns", q.name, dst.Width(), q.colw))
+	}
+	n := q.Available(now)
+	if n > len(pass) {
+		n = len(pass)
+	}
+	if n == 0 {
+		return 0
+	}
+	first := n
+	if q.head+first > q.capacity {
+		first = q.capacity - q.head
+	}
+	views := dst.Extend(n)
+	for c, v := range views {
+		copy(v, q.cols[c][q.head:q.head+first])
+	}
+	copy(pass, q.pass[q.head:q.head+first])
+	if first < n {
+		for c, v := range views {
+			copy(v[first:], q.cols[c][:n-first])
+		}
+		copy(pass[first:], q.pass[:n-first])
+	}
+	q.popCommit(n)
+	return n
+}
+
+// popCommit retires n popped slots into debt, with the estimator fed-prefix
+// bookkeeping shared by PopN and PopColsN.
+func (q *Queue) popCommit(n int) {
 	take := q.observed // popped tuples already fed to the estimator
 	if take > n {
 		take = n
@@ -324,11 +488,10 @@ func (q *Queue) PopN(now time.Duration, dst []relation.Tuple) int {
 	q.head = q.idx(n)
 	q.size -= n
 	q.debt += n
-	q.arrived -= n // Available above guarantees arrived >= n
+	q.arrived -= n // Available guarantees arrived >= n
 	q.observed -= take
 	q.obsDebt += take
 	q.totalPopped += int64(n)
-	return n
 }
 
 // Credit releases the oldest debt slot at virtual time now and resumes the

@@ -74,3 +74,43 @@ func BenchmarkQueueObserveDrain(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkColumnarScan cycles a full window of 2-column batches through a
+// columnar queue — PushColsN ring copies in, PopColsN ring copies out into a
+// recycled batch — the wrapper→mediator hot path of the columnar dataflow.
+// Compare with BenchmarkQueuePushPop ×96 for the row-at-a-time equivalent.
+func BenchmarkColumnarScan(b *testing.B) {
+	const depth = 96
+	q := NewQueue("w", depth)
+	q.SetColumnar(2)
+	vals := make([][]int64, 2)
+	arrivals := make([]time.Duration, depth)
+	pass := make([]bool, depth)
+	for c := range vals {
+		vals[c] = make([]int64, depth)
+		for i := range vals[c] {
+			vals[c][i] = int64(i)
+		}
+	}
+	for i := range pass {
+		pass[i] = i%3 != 0
+	}
+	batch := relation.NewBatch(2)
+	popPass := make([]bool, depth)
+	at := time.Duration(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range arrivals {
+			at += time.Microsecond
+			arrivals[j] = at
+		}
+		q.PushColsN(vals, pass, arrivals)
+		batch.Reset(2)
+		if q.PopColsN(at, batch, popPass) != depth {
+			b.Fatal("short pop")
+		}
+		for j := 0; j < depth; j++ {
+			q.Credit(at)
+		}
+	}
+}

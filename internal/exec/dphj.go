@@ -32,7 +32,11 @@ func RunDPHJ(rt *Runtime) (Result, error) {
 	defer net.reclaim()
 	type feed struct {
 		src  TupleSource
+		qs   *queueSource
 		leaf *symLeaf
+		col  bool
+		at   []int          // columnar: batch-column → full-schema gather map
+		row  relation.Tuple // columnar: reused scan-width gather row
 	}
 	feeds := make([]feed, 0, len(rt.Dec.Chains))
 	for _, c := range rt.Dec.Chains {
@@ -40,7 +44,14 @@ func RunDPHJ(rt *Runtime) (Result, error) {
 		if !ok {
 			return Result{}, fmt.Errorf("exec: DPHJ leaf for %s missing", c.Scan.Rel.Name)
 		}
-		feeds = append(feeds, feed{src: rt.QueueSource(c.Scan.Rel.Name), leaf: leaf})
+		qs := rt.qsrcs[c.Scan.Rel.Name]
+		fd := feed{src: qs, qs: qs, leaf: leaf}
+		if qs.Columnar() {
+			fd.col = true
+			fd.at = rt.colPush[c.Scan.Rel.Name].keep
+			fd.row = make(relation.Tuple, c.Scan.Schema.Width())
+		}
+		feeds = append(feeds, fd)
 	}
 	perTuple := rt.Cfg.PerTupleDataflow
 	popBuf := rt.Cfg.Scratch.GetTuples()
@@ -49,6 +60,14 @@ func RunDPHJ(rt *Runtime) (Result, error) {
 	}
 	popBuf = popBuf[:rt.Cfg.BatchTuples]
 	defer rt.Cfg.Scratch.PutTuples(popBuf)
+	colBatch := rt.Cfg.Scratch.GetBatch(0)
+	defer rt.Cfg.Scratch.PutBatch(colBatch)
+	passBuf := rt.Cfg.Scratch.GetBools()
+	if cap(passBuf) < rt.Cfg.BatchTuples {
+		passBuf = make([]bool, rt.Cfg.BatchTuples)
+	}
+	passBuf = passBuf[:rt.Cfg.BatchTuples]
+	defer rt.Cfg.Scratch.PutBools(passBuf)
 	for {
 		progressed := false
 		exhausted := 0
@@ -60,6 +79,30 @@ func RunDPHJ(rt *Runtime) (Result, error) {
 			n := f.src.Available(rt.Now())
 			if n > rt.Cfg.BatchTuples {
 				n = rt.Cfg.BatchTuples
+			}
+			if f.col {
+				// Columnar feed: same per-slot credits and receive/move
+				// charges as the row path, with wrapper-filtered slots
+				// skipped by their pass bit instead of a mediator-side
+				// predicate evaluation.
+				colBatch.Reset(len(f.at))
+				n = f.qs.PopBatch(rt.Now(), colBatch, passBuf[:n])
+				for i := 0; i < n; i++ {
+					f.src.Credit(rt.Now())
+					rt.Costs.ChargeReceive()
+					rt.Costs.ChargeMove()
+					if !passBuf[i] {
+						continue
+					}
+					colBatch.Gather(i, f.row, f.at)
+					if !net.arrive(f.leaf.join, f.leaf.fromBuild, f.row) {
+						return Result{}, fmt.Errorf("%w (symmetric join network)", ErrMemoryExceeded)
+					}
+				}
+				if n > 0 {
+					progressed = true
+				}
+				continue
 			}
 			if !perTuple {
 				// Bulk removal with per-tuple slot credits at the instants
@@ -163,6 +206,10 @@ func newSymNet(rt *Runtime) (*symNet, error) {
 				parent:     parent,
 				fromBuild:  fromBuild,
 			}
+			// Both sides retain their full input, so the optimizer's subtree
+			// estimates pre-size both tables.
+			sj.buildTable.Reserve(n.Build.Schema.Width(), clampReserveRows(int64(n.Build.EstRows)))
+			sj.probeTable.Reserve(n.Probe.Schema.Width(), clampReserveRows(int64(n.Probe.EstRows)))
 			if s := rt.Cfg.Scratch; s != nil {
 				sj.arena.Recycle(s.GetInts())
 				sj.matchBuf = s.GetTuples()

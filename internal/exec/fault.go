@@ -196,9 +196,15 @@ func (m *Mediator) registerFaultEntry(rt *Runtime, rel, cmName string, table *re
 		if rwait == 0 {
 			rwait = d.MeanWait
 		}
+		repOpts := []source.Option{source.WithMeanWait(rwait), source.AsStandby()}
+		if p, ok := rt.colPush[rel]; ok {
+			// The replica shares the primary's columnar queue, so it must
+			// deliver the same projected columns and wrapper-side predicate.
+			repOpts = append(repOpts, source.WithColumnar(table.Columns(), p.keep, p.predIdx, p.predLess))
+		}
 		repl, err := source.New(cmName+"~replica", table, e.qs.q,
 			sim.NewRNG(fault.SeedFor(m.Cfg.FaultSeed, cmName+"~replica")), netTime,
-			source.WithMeanWait(rwait), source.AsStandby())
+			repOpts...)
 		if err != nil {
 			return err
 		}

@@ -73,13 +73,26 @@ type Fragment struct {
 
 	// pending holds terminal-ready tuples that could not be sunk because
 	// the memory grant was exhausted; they are retried on resume. Pending
-	// tuples are deep-copied out of the scratch arena.
+	// tuples are copied out of the scratch arena into pendArena, which is
+	// reset only when the retry buffer has fully drained, so the overflow
+	// path allocates nothing in steady state either.
 	pending   []relation.Tuple
+	pendArena relation.Arena
 	processed int64
 	done      bool
 
 	// popBuf stages bulk-popped input tuples between PopN and processing.
 	popBuf []relation.Tuple
+
+	// Columnar input state (wrapper-fed fragments on a columnar queue).
+	// colIn is the batch protocol view of In; gatherAt maps batch columns to
+	// their full-schema positions in rowBuf, the reused scan-width processing
+	// row whose dead (projected-away) positions stay permanently zero.
+	colIn    *queueSource
+	gatherAt []int
+	rowBuf   relation.Tuple
+	colBatch *relation.Batch
+	passBuf  []bool
 }
 
 type stepExec struct {
@@ -125,9 +138,20 @@ func (rt *Runtime) newFragment(c *plan.Chain, label string, fromStep, toStep int
 	}
 	if s := rt.Cfg.Scratch; s != nil {
 		f.arena.Recycle(s.GetInts())
+		f.pendArena.Recycle(s.GetInts())
 		f.curBuf = s.GetTuples()
 		f.nextBuf = s.GetTuples()
 		f.popBuf = s.GetTuples()
+	}
+	if queueInput {
+		if qs, ok := in.(*queueSource); ok && qs.Columnar() {
+			p := rt.colPush[c.Scan.Rel.Name]
+			f.colIn = qs
+			f.gatherAt = p.keep
+			f.rowBuf = make(relation.Tuple, c.Scan.Schema.Width())
+			f.colBatch = rt.Cfg.Scratch.GetBatch(len(p.keep))
+			f.passBuf = rt.Cfg.Scratch.GetBools()
+		}
 	}
 	rt.frags = append(rt.frags, f)
 	return f
@@ -159,8 +183,9 @@ func (rt *Runtime) NewCF(c *plan.Chain, temp *mem.Temp) *Fragment {
 // explicitly assumes asynchronous I/O for its fragments (§4.4); MA does
 // not.
 func (rt *Runtime) NewMFSync(c *plan.Chain) *Fragment {
-	temp := rt.Temps.CreateSync("MF("+c.Name+")", c.Scan.Schema)
-	return rt.newFragment(c, "MF("+c.Name+")", 0, 0, true, rt.QueueSource(c.Scan.Rel.Name), TermTemp, temp)
+	in := rt.QueueSource(c.Scan.Rel.Name)
+	temp := rt.Temps.CreateSyncSized("MF("+c.Name+")", c.Scan.Schema, rt.segmentRowsHint(c, 0, 0, true, in))
+	return rt.newFragment(c, "MF("+c.Name+")", 0, 0, true, in, TermTemp, temp)
 }
 
 // NewCFSync is NewCF with synchronous page reads (no prefetch overlap).
@@ -214,7 +239,8 @@ func (rt *Runtime) NewSegment(c *plan.Chain, fromStep, toStep int, prev *mem.Tem
 		}
 		return rt.newFragment(c, label, fromStep, toStep, queueInput, in, term, nil)
 	}
-	temp := rt.Temps.Create(label, inputSchemaAt(c, toStep))
+	temp := rt.Temps.CreateSized(label, inputSchemaAt(c, toStep),
+		rt.segmentRowsHint(c, fromStep, toStep, queueInput, in))
 	return rt.newFragment(c, label, fromStep, toStep, queueInput, in, TermTemp, temp)
 }
 
@@ -338,11 +364,16 @@ func (f *Fragment) sinkAll(outs []relation.Tuple) bool {
 }
 
 // strand copies overflow-stranded outputs into the pending retry buffer;
-// they must outlive the scratch arena. Overflow is the rare path, so the
-// copies don't matter.
+// they must outlive the per-tuple scratch arena, so they go into the
+// fragment's dedicated pending arena. Stranding only ever starts from an
+// empty retry buffer (ProcessBatch drains pending before consuming input),
+// so resetting the arena here cannot invalidate live pending tuples.
 func (f *Fragment) strand(outs []relation.Tuple) {
+	if len(f.pending) == 0 {
+		f.pendArena.Reset()
+	}
 	for _, o := range outs {
-		f.pending = append(f.pending, append(relation.Tuple(nil), o...))
+		f.pending = append(f.pending, f.pendArena.Append(o))
 	}
 }
 
@@ -363,9 +394,12 @@ func (f *Fragment) ProcessBatch(max int) (int, bool) {
 	}
 	var n int
 	var overflow bool
-	if f.rt.Cfg.PerTupleDataflow {
+	switch {
+	case f.colIn != nil:
+		n, overflow = f.processColumnar(max)
+	case f.rt.Cfg.PerTupleDataflow:
 		n, overflow = f.processPerTuple(max)
-	} else {
+	default:
 		n, overflow = f.processBulk(max)
 	}
 	if overflow {
@@ -428,6 +462,51 @@ func (f *Fragment) processBulk(max int) (int, bool) {
 			f.processed++
 			n++
 			if !f.sinkAll(f.applyTuple(t)) {
+				f.In.UnpopN(k - i - 1)
+				return n, true
+			}
+		}
+	}
+	return n, false
+}
+
+// processColumnar is processBulk over a columnar queue: slots come out as
+// flat column runs plus a pass mask, and each is credited at the virtual
+// instant its processing starts — slot for slot the same protocol events as
+// the row path. A filtered slot (predicate already applied wrapper-side)
+// charges the same receive+move the row path's mediator-side predicate
+// rejection charges, at the same instant; a passing slot is gathered into
+// the reused full-width row (dead columns stay zero) and runs the same
+// cascade.
+func (f *Fragment) processColumnar(max int) (int, bool) {
+	costs := &f.rt.Costs
+	filteredCharge := costs.MoveT + costs.ReceiveT
+	n := 0
+	for n < max {
+		now := f.rt.Now()
+		want := max - n
+		if cap(f.passBuf) < want {
+			f.passBuf = make([]bool, want)
+		}
+		pass := f.passBuf[:want]
+		f.colBatch.Reset(len(f.gatherAt))
+		k := f.colIn.PopBatch(now, f.colBatch, pass)
+		if k == 0 {
+			break
+		}
+		for i := 0; i < k; i++ {
+			f.In.Credit(f.rt.Now())
+			if f.processed == 0 {
+				f.rt.Trace.Add(f.rt.Now(), sim.EvBatch, "%s first batch", f.Label)
+			}
+			f.processed++
+			n++
+			if !pass[i] {
+				costs.CPU.Clock.Work(filteredCharge)
+				continue
+			}
+			f.colBatch.Gather(i, f.rowBuf, f.gatherAt)
+			if !f.sinkAll(f.applyTuple(f.rowBuf)) {
 				f.In.UnpopN(k - i - 1)
 				return n, true
 			}

@@ -131,6 +131,7 @@ func (m *Mediator) AddQuery(label string, root *plan.Node, ds relation.Dataset, 
 		sources: make(map[string]*source.Source),
 		qsrcs:   make(map[string]*queueSource),
 		tables:  make(map[int]*tableState),
+		colPush: make(map[string]colPush),
 	}
 	rng := m.rng.Fork(int64(m.queries))
 	netTime := m.Cfg.Params.NetworkTupleTime()
@@ -155,6 +156,16 @@ func (m *Mediator) AddQuery(label string, root *plan.Node, ds relation.Dataset, 
 		if d.InitialDelay > 0 {
 			opts = append(opts, source.WithInitialDelay(d.InitialDelay))
 		}
+		if m.Cfg.columnarDataflow() {
+			// Columnar dataflow: the queue ring carries only the plan's live
+			// columns, and the scan predicate moves into the wrapper. Window
+			// slots and arrivals stay pre-filter, so scheduling inputs are
+			// untouched.
+			p := compileColPush(root, c.Scan)
+			q.SetColumnar(len(p.keep))
+			opts = append(opts, source.WithColumnar(table.Columns(), p.keep, p.predIdx, p.predLess))
+			rt.colPush[name] = p
+		}
 		opts = m.compileFaults(name, cmName, opts)
 		src, err := source.New(cmName, table, q, rng.Fork(int64(i+1)), netTime, opts...)
 		if err != nil {
@@ -167,10 +178,18 @@ func (m *Mediator) AddQuery(label string, root *plan.Node, ds relation.Dataset, 
 		}
 	}
 	for _, j := range plan.Joins(root) {
-		rt.tables[j.ID] = &tableState{
-			join: j,
-			ht:   m.Cfg.Scratch.Table(j.Build.Schema.MustIndexOf(j.BuildKey)),
+		ht := m.Cfg.Scratch.Table(j.Build.Schema.MustIndexOf(j.BuildKey))
+		// Pre-size the build from the best cardinality knowledge available:
+		// the actual row count a prior run of this plan recorded at build
+		// completion, falling back to the optimizer's estimate at first
+		// build. A wrong hint only costs allocator behaviour — simulation
+		// accounting never reads the reservation.
+		rows := int64(j.Build.EstRows)
+		if h, ok := m.Cfg.Scratch.BuildRowsHint(j.ID); ok {
+			rows = h
 		}
+		ht.Reserve(j.Build.Schema.Width(), clampReserveRows(rows))
+		rt.tables[j.ID] = &tableState{join: j, ht: ht}
 	}
 	m.rts = append(m.rts, rt)
 	return rt, nil

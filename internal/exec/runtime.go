@@ -40,6 +40,7 @@ type Runtime struct {
 	sources map[string]*source.Source
 	qsrcs   map[string]*queueSource
 	tables  map[int]*tableState
+	colPush map[string]colPush // per-relation pushdown (columnar dataflow only)
 	frags   []*Fragment
 
 	outputRows int64
@@ -166,9 +167,29 @@ func (rt *Runtime) buildInsertBatch(j *plan.Node, ts []relation.Tuple) int {
 	return len(ts)
 }
 
-// completeTable marks join j's table as fully built.
+// maxReserveRows caps pre-size hints so a wildly skewed estimate (or a hint
+// recorded under a different workload scale) cannot demand an absurd
+// up-front allocation; builds beyond the cap just grow amortized.
+const maxReserveRows = 1 << 22
+
+// clampReserveRows converts a cardinality hint into a safe Reserve argument.
+func clampReserveRows(rows int64) int {
+	if rows < 0 {
+		return 0
+	}
+	if rows > maxReserveRows {
+		return maxReserveRows
+	}
+	return int(rows)
+}
+
+// completeTable marks join j's table as fully built and records its exact
+// cardinality as the pre-size hint for the next run of this plan on the same
+// scratch pool.
 func (rt *Runtime) completeTable(j *plan.Node) {
-	rt.table(j).complete = true
+	ts := rt.table(j)
+	ts.complete = true
+	rt.Cfg.Scratch.RecordBuildRows(j.ID, ts.rows)
 }
 
 // releaseTable frees the memory of join j's table once its probing fragment
@@ -201,10 +222,14 @@ func (rt *Runtime) reclaim(s *Scratch) {
 	}
 	for _, f := range rt.frags {
 		s.PutInts(f.arena.Release())
+		s.PutInts(f.pendArena.Release())
 		s.PutTuples(f.curBuf)
 		s.PutTuples(f.nextBuf)
 		s.PutTuples(f.popBuf)
+		s.PutBatch(f.colBatch)
+		s.PutBools(f.passBuf)
 		f.curBuf, f.nextBuf, f.popBuf, f.pending = nil, nil, nil, nil
+		f.colBatch, f.passBuf = nil, nil
 	}
 	rt.frags = nil
 }
@@ -235,6 +260,23 @@ func stepFanout(j *plan.Node) float64 {
 		return 0
 	}
 	return j.EstRows / j.Probe.EstRows
+}
+
+// segmentRowsHint estimates how many tuples a materializing segment over
+// chain steps [fromStep, toStep) will spill: the exact unconsumed input
+// count (the source's remaining rows at creation time — runtime observation,
+// not an estimate) scaled by the optimizer's pushed-down-predicate
+// selectivity and per-step join fanouts. Used only to pre-size temp arenas;
+// simulation accounting never reads it.
+func (rt *Runtime) segmentRowsHint(c *plan.Chain, fromStep, toStep int, queueInput bool, in TupleSource) int {
+	expected := float64(in.Remaining())
+	if queueInput {
+		expected *= predSelectivity(c)
+	}
+	for i := fromStep; i < toStep && i < len(c.Joins); i++ {
+		expected *= stepFanout(c.Joins[i])
+	}
+	return clampReserveRows(int64(expected))
 }
 
 // PerTupleCost estimates the mediator CPU time c_p spent per input tuple of

@@ -27,10 +27,19 @@ const (
 // All methods are nil-receiver safe and fall back to plain allocation, so
 // call sites need no pooling branch.
 type Scratch struct {
-	queues []*comm.Queue
-	tables []*operator.HashTable
-	ints   [][]int64
-	tuples [][]relation.Tuple
+	queues  []*comm.Queue
+	tables  []*operator.HashTable
+	ints    [][]int64
+	tuples  [][]relation.Tuple
+	batches []*relation.Batch
+	bools   [][]bool
+
+	// buildRows remembers the exact cardinality of each completed hash-table
+	// build, keyed by plan join-node ID, as the pre-size hint for the next
+	// run. Plans sharing a pool may collide on IDs; a stale hint only costs
+	// allocator behaviour (an over- or under-sized reservation), never
+	// results — simulation accounting ignores capacity.
+	buildRows map[int]int64
 }
 
 // NewScratch returns an empty pool.
@@ -104,6 +113,72 @@ func (s *Scratch) PutInts(b []int64) {
 		return
 	}
 	s.ints = append(s.ints, b[:0])
+}
+
+// GetBatch returns a recycled columnar batch reset to the given width (the
+// NextBatch half of the batch recycle contract).
+func (s *Scratch) GetBatch(width int) *relation.Batch {
+	if s != nil && len(s.batches) > 0 {
+		last := len(s.batches) - 1
+		b := s.batches[last]
+		s.batches[last] = nil
+		s.batches = s.batches[:last]
+		b.Reset(width)
+		return b
+	}
+	return relation.NewBatch(width)
+}
+
+// PutBatch returns a batch to the pool (the Release half of the contract);
+// its grown column capacity is kept for the next run.
+func (s *Scratch) PutBatch(b *relation.Batch) {
+	if s == nil || b == nil || len(s.batches) >= maxPooledSlices {
+		return
+	}
+	s.batches = append(s.batches, b)
+}
+
+// GetBools returns a recycled pass-mask scratch slice (length zero), or nil
+// when the pool is empty.
+func (s *Scratch) GetBools() []bool {
+	if s == nil || len(s.bools) == 0 {
+		return nil
+	}
+	last := len(s.bools) - 1
+	b := s.bools[last]
+	s.bools[last] = nil
+	s.bools = s.bools[:last]
+	return b
+}
+
+// PutBools reclaims a pass-mask scratch slice.
+func (s *Scratch) PutBools(b []bool) {
+	if s == nil || cap(b) == 0 || len(s.bools) >= maxPooledSlices {
+		return
+	}
+	s.bools = append(s.bools, b[:0])
+}
+
+// RecordBuildRows stores the exact cardinality of a completed build as the
+// pre-size hint for the next run touching the same join node.
+func (s *Scratch) RecordBuildRows(joinID int, rows int64) {
+	if s == nil {
+		return
+	}
+	if s.buildRows == nil {
+		s.buildRows = make(map[int]int64)
+	}
+	s.buildRows[joinID] = rows
+}
+
+// BuildRowsHint returns the recorded cardinality of a join's build, if a
+// prior run completed it on this pool.
+func (s *Scratch) BuildRowsHint(joinID int) (int64, bool) {
+	if s == nil || s.buildRows == nil {
+		return 0, false
+	}
+	rows, ok := s.buildRows[joinID]
+	return rows, ok
 }
 
 // GetTuples returns a recycled tuple-header scratch slice (length zero), or

@@ -71,6 +71,19 @@ func (s *queueSource) PopN(now time.Duration, dst []relation.Tuple) int {
 	return n
 }
 
+// Columnar reports whether the underlying queue transfers columnar batches.
+func (s *queueSource) Columnar() bool { return s.q.Columnar() }
+
+// PopBatch is the columnar PopN: it bulk-consumes up to len(pass) arrived
+// slots as flat column runs appended to dst, with the pushdown pass mask in
+// pass. Slot accounting (debt, credits, estimator feeds) is identical to
+// PopN, so the consumer owes a Credit per slot — filtered ones included.
+func (s *queueSource) PopBatch(now time.Duration, dst *relation.Batch, pass []bool) int {
+	n := s.q.PopColsN(now, dst, pass)
+	s.popped += n
+	return n
+}
+
 func (s *queueSource) Credit(now time.Duration) { s.q.Credit(now) }
 
 func (s *queueSource) UnpopN(n int) {

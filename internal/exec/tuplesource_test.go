@@ -8,7 +8,11 @@ import (
 
 func TestQueueSourceAccounting(t *testing.T) {
 	w := smallFig5(t)
-	rt, err := NewRuntime(testConfig(), w.Root, w.Dataset, uniform(w, time.Microsecond))
+	cfg := testConfig()
+	// Per-tuple Pop is a row-queue protocol; columnar queues only serve
+	// PopBatch.
+	cfg.RowDataflow = true
+	rt, err := NewRuntime(cfg, w.Root, w.Dataset, uniform(w, time.Microsecond))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"dqs/internal/exec"
+	"dqs/internal/fault"
+	"dqs/internal/workload"
+)
+
+// columnarDiff runs one experiment cell through both dataflow paths — the
+// row reference behind Config.RowDataflow and the columnar default — and
+// requires the run summaries to match field for field, virtual nanosecond
+// for virtual nanosecond.
+func columnarDiff(t *testing.T, label string, w *workload.Workload, cfg exec.Config,
+	mk func(w *workload.Workload) map[string]exec.Delivery, strategy string) {
+	t.Helper()
+	run := func(row bool) exec.Result {
+		c := cfg
+		c.RowDataflow = row
+		res, err := runStrategy(w, c, mk(w), strategy)
+		if err != nil {
+			t.Fatalf("%s (row=%v): %v", label, row, err)
+		}
+		return res
+	}
+	ref, col := run(true), run(false)
+	if !reflect.DeepEqual(ref, col) {
+		t.Errorf("%s: columnar dataflow diverged from row reference:\nrow:      %+v\ncolumnar: %+v",
+			label, ref, col)
+	}
+}
+
+// TestColumnarDataflowMatchesRow is the differential proof behind the
+// columnar batch path with wrapper-side predicate/projection pushdown: for
+// every policy strategy, across seeds and both delay classes of §1.2, the
+// columnar run summary must equal the row-at-a-time reference exactly. The
+// pushdown moves WHERE values cross the network, but filtered rows still
+// occupy window slots, feed the rate estimators, and pay their receive/move
+// charges at the same virtual instants — so every scheduling decision, clock
+// charge and RNG draw is pinned identical.
+func TestColumnarDataflowMatchesRow(t *testing.T) {
+	o := Options{Small: true}
+	cfg := exec.DefaultConfig()
+	for class, mk := range dataflowDeliveries(cfg, o) {
+		for _, strategy := range []string{"SEQ", "MA", "SCR", "DSE"} {
+			for _, seed := range []int64{1, 2, 3} {
+				w, err := o.loadWorkload(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := cfg
+				c.Seed = seed
+				columnarDiff(t, fmt.Sprintf("%s/%s seed %d", class, strategy, seed), w, c, mk, strategy)
+			}
+		}
+	}
+}
+
+// TestColumnarDataflowMatchesRowUnderMemoryPressure repeats the differential
+// check with the memory budget squeezed to the ablation study's 2 MiB
+// pressure point, forcing the overflow/materialization machinery (strand,
+// UnpopN mid-batch, temp spill) through both paths.
+func TestColumnarDataflowMatchesRowUnderMemoryPressure(t *testing.T) {
+	o := Options{Small: true}
+	cfg := exec.DefaultConfig()
+	cfg.MemoryBytes = 2 << 20
+	mk := func(w *workload.Workload) map[string]exec.Delivery {
+		return uniformDeliveries(w, cfg.InitialWaitEstimate)
+	}
+	for _, strategy := range []string{"SEQ", "MA", "SCR", "DSE"} {
+		for _, seed := range []int64{1, 2, 3} {
+			w, err := o.loadWorkload(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cfg
+			c.Seed = seed
+			columnarDiff(t, fmt.Sprintf("mem-pressure/%s seed %d", strategy, seed), w, c, mk, strategy)
+		}
+	}
+}
+
+// TestColumnarDataflowMatchesRowUnderFaults repeats the differential check
+// under an injected fault plan covering every failure class — transient
+// stall, burst storm, disconnect/reconnect, and a permanent death with
+// replica failover (the replica inherits the primary's columnar pushdown).
+func TestColumnarDataflowMatchesRowUnderFaults(t *testing.T) {
+	o := Options{Small: true}
+	cfg := exec.DefaultConfig()
+	at := func(rel string, frac float64) int { return int(frac * float64(o.cardOf(rel))) }
+	spec := fmt.Sprintf("C:stall@%d+%v;C:burst@%d+%dx300us;D:drop@%d+%v;A:kill@%d;A:replica,connect=%v",
+		at("C", 0.10), 20*time.Millisecond, at("C", 0.30), at("C", 0.20),
+		at("D", 0.50), 8*time.Millisecond, at("A", 0.60), time.Millisecond)
+	plan, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = plan
+	mk := func(w *workload.Workload) map[string]exec.Delivery {
+		return uniformDeliveries(w, cfg.InitialWaitEstimate)
+	}
+	for _, strategy := range []string{"SEQ", "MA", "SCR", "DSE"} {
+		for _, seed := range []int64{1, 2, 3} {
+			w, err := o.loadWorkload(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cfg
+			c.Seed = seed
+			columnarDiff(t, fmt.Sprintf("faults/%s seed %d", strategy, seed), w, c, mk, strategy)
+		}
+	}
+}
+
+// TestColumnarDataflowFigureBytesMatchRow renders the DelayClasses figure —
+// every delay class under SEQ, SCR, DPHJ and DSE — through both dataflow
+// paths and requires byte-identical output, the same check the committed
+// golden figures rely on.
+func TestColumnarDataflowFigureBytesMatchRow(t *testing.T) {
+	render := func(row bool) []byte {
+		cfg := exec.DefaultConfig()
+		cfg.RowDataflow = row
+		o := Options{Small: true, Seeds: []int64{1, 2, 3}, Config: &cfg}
+		fig, err := DelayClasses(o)
+		if err != nil {
+			t.Fatalf("row=%v: %v", row, err)
+		}
+		var buf bytes.Buffer
+		fig.Print(&buf)
+		buf.WriteString(fig.CSV())
+		return buf.Bytes()
+	}
+	ref, col := render(true), render(false)
+	if !bytes.Equal(ref, col) {
+		t.Errorf("figure bytes diverged between dataflow paths:\nrow:\n%s\ncolumnar:\n%s", ref, col)
+	}
+}

@@ -84,6 +84,34 @@ func (s *TempStore) CreateSync(name string, schema *relation.Schema) *Temp {
 	return t
 }
 
+// CreateSized is Create with a row-count hint: the tuple arena is sized for
+// about rows tuples up front, so a materialization that stays within the
+// hint never re-copies its arena. The hint only steers allocation — page
+// bookkeeping, I/O charges and contents are identical with any hint.
+func (s *TempStore) CreateSized(name string, schema *relation.Schema, rows int) *Temp {
+	t := s.Create(name, schema)
+	t.sizeFor(rows)
+	return t
+}
+
+// CreateSyncSized is CreateSync with a row-count hint.
+func (s *TempStore) CreateSyncSized(name string, schema *relation.Schema, rows int) *Temp {
+	t := s.CreateSync(name, schema)
+	t.sizeFor(rows)
+	return t
+}
+
+// sizeFor grows the (still empty) arena to hold rows tuples, keeping pooled
+// storage when it is already big enough.
+func (t *Temp) sizeFor(rows int) {
+	if rows <= 0 {
+		return
+	}
+	if need := rows * t.width; cap(t.data) < need {
+		t.data = make([]int64, 0, need)
+	}
+}
+
 // Temp is one temporary relation: tuples plus the virtual times at which
 // each page became durable on disk. Tuple values live in one flat []int64
 // arena (the schema fixes the width), so materializing n tuples costs a few

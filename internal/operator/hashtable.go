@@ -46,6 +46,41 @@ func NewHashTable(keyIdx int) *HashTable {
 	return &HashTable{keyIdx: keyIdx, width: -1}
 }
 
+// Reserve pre-sizes an empty table for about rows build tuples of the given
+// width: the entry arena, the chain array and the bucket array are allocated
+// up front, so a build that stays within the reservation never rehashes its
+// buckets or re-copies its arena. The row count is a hint — estimator
+// cardinality observations or optimizer estimates — and inserts beyond it
+// simply fall back to amortized growth; correctness never depends on it.
+func (h *HashTable) Reserve(width, rows int) {
+	if h.rows > 0 {
+		panic(fmt.Sprintf("operator: reserve on non-empty table (%d rows)", h.rows))
+	}
+	if width <= 0 || rows <= 0 {
+		return
+	}
+	if need := width * rows; cap(h.arena) < need {
+		h.arena = make([]int64, 0, need)
+	}
+	if cap(h.next) < rows {
+		h.next = make([]int32, 0, rows)
+	}
+	// Bucket array sized so `rows` distinct keys stay under the 3/4 load
+	// factor (fewer distinct keys just leave it sparser).
+	n := 8
+	for n-n/4 <= rows {
+		n *= 2
+	}
+	if len(h.bkeys) < n {
+		h.bkeys = make([]int64, n)
+		h.bhead = make([]int32, n)
+		h.btail = make([]int32, n)
+		for i := range h.bhead {
+			h.bhead[i] = -1
+		}
+	}
+}
+
 // hashKey mixes a join key into a well-distributed 64-bit hash
 // (splitmix64/murmur3 finalizer).
 func hashKey(k int64) uint64 {

@@ -1,5 +1,7 @@
 package relation
 
+import "sync"
+
 // Table is a fully generated instance of a relation: the rows a wrapper will
 // deliver to the mediator. Tables are immutable once generated and shared
 // across the strategies of one experiment run, so every strategy sees
@@ -7,10 +9,44 @@ package relation
 type Table struct {
 	Rel  *Relation
 	Rows []Tuple
+
+	// colOnce/cols cache the column-major transpose for Columns. The table
+	// is immutable and shared across concurrently running experiment cells,
+	// so the transpose is computed once under the Once and reused by every
+	// columnar wrapper instead of being rebuilt per run.
+	colOnce sync.Once
+	cols    [][]int64
 }
 
 // Len returns the number of rows.
 func (t *Table) Len() int { return len(t.Rows) }
+
+// Columns returns the table in column-major form: Columns()[c][i] is column
+// c of row i. The transpose is computed on first use and cached on the
+// shared table (safe for concurrent callers); the returned slices are
+// read-only views of that cache.
+func (t *Table) Columns() [][]int64 {
+	t.colOnce.Do(func() {
+		width := 0
+		if len(t.Rows) > 0 {
+			width = len(t.Rows[0])
+		} else if t.Rel != nil {
+			width = t.Rel.Schema.Width()
+		}
+		cols := make([][]int64, width)
+		backing := make([]int64, width*len(t.Rows))
+		for c := range cols {
+			cols[c] = backing[c*len(t.Rows) : (c+1)*len(t.Rows) : (c+1)*len(t.Rows)]
+		}
+		for i, row := range t.Rows {
+			for c, v := range row {
+				cols[c][i] = v
+			}
+		}
+		t.cols = cols
+	})
+	return t.cols
+}
 
 // Dataset maps relation names to their generated tables.
 type Dataset map[string]*Table

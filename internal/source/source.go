@@ -73,6 +73,24 @@ type Source struct {
 	// PushN instead of a Push per tuple.
 	stageT  []relation.Tuple
 	stageAt []time.Duration
+
+	// Columnar pushdown state (WithColumnar). tcols is the shared column-major
+	// table; keep lists the live (projected) full-schema columns, in queue
+	// column order; predIdx/predLess is the pushed-down scan predicate
+	// (predIdx < 0 = none). The pump evaluates the predicate wrapper-side and
+	// stages only pass bits — a pump's staged rows are one contiguous table
+	// run, so the flush hands PushColsN sub-slices of the shared transpose
+	// directly, copying each live column into the ring exactly once.
+	// Filtered rows claim their window slot and arrival (flow control and
+	// rate estimation are pre-filter), but their value positions are
+	// unspecified and never read: the pass bit gates every consumer.
+	colMode   bool
+	tcols     [][]int64
+	keep      []int
+	predIdx   int
+	predLess  int64
+	colViews  [][]int64 // flush scratch: per-live-column views of the staged run
+	stagePass []bool
 }
 
 // Option configures a Source.
@@ -105,6 +123,23 @@ func WithFaults(sc *fault.Script) Option {
 		}
 		s.faults = sc.Clauses
 		s.frng = sc.RNG
+	}
+}
+
+// WithColumnar switches the source to columnar delivery with selection and
+// projection pushed down to the wrapper. cols is the column-major form of the
+// source's table (relation.Table.Columns, shared and read-only); keep lists
+// the full-schema indices of the live columns that actually cross the wire,
+// in queue column order; predIdx/predLess is the plan's scan predicate
+// (column < less) evaluated wrapper-side, predIdx < 0 for none. The queue
+// must already be in columnar mode with width len(keep).
+func WithColumnar(cols [][]int64, keep []int, predIdx int, predLess int64) Option {
+	return func(s *Source) {
+		s.colMode = true
+		s.tcols = cols
+		s.keep = append([]int(nil), keep...)
+		s.predIdx = predIdx
+		s.predLess = predLess
 	}
 }
 
@@ -158,7 +193,20 @@ func New(name string, table *relation.Table, q *comm.Queue, rng *sim.RNG, netTim
 	if len(s.faults) > 0 && s.frng == nil {
 		return nil, fmt.Errorf("source %q: fault script without an RNG", name)
 	}
-	s.stageT = make([]relation.Tuple, 0, q.Capacity())
+	if s.colMode {
+		for _, c := range s.keep {
+			if c < 0 || c >= len(s.tcols) {
+				return nil, fmt.Errorf("source %q: live column %d outside width-%d table", name, c, len(s.tcols))
+			}
+		}
+		if s.predIdx >= len(s.tcols) {
+			return nil, fmt.Errorf("source %q: predicate column %d outside width-%d table", name, s.predIdx, len(s.tcols))
+		}
+		s.colViews = make([][]int64, len(s.keep))
+		s.stagePass = make([]bool, 0, q.Capacity())
+	} else {
+		s.stageT = make([]relation.Tuple, 0, q.Capacity())
+	}
 	s.stageAt = make([]time.Duration, 0, q.Capacity())
 	if !s.standby {
 		q.SetProducer(s)
@@ -340,7 +388,14 @@ func (s *Source) pump(floor time.Duration) {
 			s.outages = append(s.outages, fault.Outage{From: send, To: send + down})
 			send += down
 		}
-		s.stageT = append(s.stageT, s.rows[s.next])
+		if s.colMode {
+			// Wrapper-side selection: same `col < less` semantics as
+			// operator.EvalPred on the mediator. Only the pass bit is staged
+			// per row — the values flush as contiguous column runs below.
+			s.stagePass = append(s.stagePass, s.predIdx < 0 || s.tcols[s.predIdx][s.next] < s.predLess)
+		} else {
+			s.stageT = append(s.stageT, s.rows[s.next])
+		}
 		s.stageAt = append(s.stageAt, send+s.netTime)
 		staged++
 		s.next++
@@ -352,8 +407,21 @@ func (s *Source) pump(floor time.Duration) {
 		s.blocked = false
 	}
 	if staged > 0 {
-		s.q.PushN(s.stageT, s.stageAt)
-		s.stageT = s.stageT[:0]
+		if s.colMode {
+			// The staged rows are exactly [next-staged, next): the cursor
+			// advances one row per staged slot and every break above happens
+			// before staging. Each live column therefore pushes as one
+			// sub-slice of the shared transpose — no per-value staging copy.
+			start := s.next - staged
+			for j, c := range s.keep {
+				s.colViews[j] = s.tcols[c][start:s.next]
+			}
+			s.q.PushColsN(s.colViews, s.stagePass, s.stageAt)
+			s.stagePass = s.stagePass[:0]
+		} else {
+			s.q.PushN(s.stageT, s.stageAt)
+			s.stageT = s.stageT[:0]
+		}
 		s.stageAt = s.stageAt[:0]
 	}
 }
