@@ -9,7 +9,7 @@
 // When the baseline file does not exist it is created from the piped
 // results. When it exists, the new results are compared against it and the
 // command fails if any benchmark regressed by more than -threshold (default
-// 20%) in ns/op or allocs/op. Pass -write to overwrite the baseline with
+// 20%) in ns/op, B/op or allocs/op. Pass -write to overwrite the baseline with
 // the new results instead (after a deliberate perf change, commit the
 // updated file together with the change that justifies it).
 package main
@@ -226,8 +226,15 @@ func run() error {
 			status += " REGRESSED allocs/op"
 			status = strings.TrimPrefix(status, "ok ")
 		}
-		fmt.Printf("benchjson: %-28s %-9s ns/op %12.0f -> %-12.0f allocs/op %10.0f -> %-10.0f\n",
-			b.Name, status, o.NsPerOp, b.NsPerOp, o.AllocsPerOp, b.AllocsPerOp)
+		// Bytes/op gates with extra slack (one page) so tiny benchmarks
+		// whose footprint is a few KB don't trip on allocator jitter, while
+		// MB-scale regressions — the skew ablation's failure mode — fail.
+		if regressed(o.BytesPerOp, b.BytesPerOp, *threshold, 4096) {
+			status += " REGRESSED B/op"
+			status = strings.TrimPrefix(status, "ok ")
+		}
+		fmt.Printf("benchjson: %-28s %-9s ns/op %12.0f -> %-12.0f B/op %12.0f -> %-12.0f allocs/op %10.0f -> %-10.0f\n",
+			b.Name, status, o.NsPerOp, b.NsPerOp, o.BytesPerOp, b.BytesPerOp, o.AllocsPerOp, b.AllocsPerOp)
 		if strings.Contains(status, "REGRESSED") {
 			regressions = append(regressions, b.Name)
 		}

@@ -56,3 +56,15 @@ func TestRegressedThresholdAndSlack(t *testing.T) {
 		t.Error("beyond-slack alloc jump not flagged")
 	}
 }
+
+func TestBytesPerOpGateSlack(t *testing.T) {
+	// MB-scale bytes/op growth (the skew ablation's failure mode) trips the
+	// 20% gate, while a few-KB footprint moving by a page of allocator
+	// jitter stays inside the 4096-byte slack.
+	if !regressed(33e6, 41e6, 0.20, 4096) {
+		t.Error("a 24% MB-scale bytes/op regression passed the gate")
+	}
+	if regressed(2048, 4096, 0.20, 4096) {
+		t.Error("page-scale jitter on a tiny benchmark tripped the gate")
+	}
+}

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	dqsbench [-exp all|table1|fig5|fig6|fig7|fig8|position|resilience|ablations] \
-//	         [-reps N] [-parallel N] [-small] [-csv] [-chart] [-plan-cache] \
-//	         [-faults SPEC] [-fault-seed N] \
+//	         [-reps N] [-parallel N] [-workers N] [-small] [-csv] [-chart] \
+//	         [-plan-cache] [-faults SPEC] [-fault-seed N] \
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Output is the same rows/series the paper plots; -csv additionally emits
@@ -13,9 +13,11 @@
 //
 // Every sweep is a grid of independent deterministic simulator runs
 // (cells); -parallel bounds the worker pool executing them (default:
-// GOMAXPROCS). Parallelism changes wall-clock time only — the reported
-// virtual times, and therefore the printed figures, are byte-identical at
-// any worker count. A per-cell profiling summary goes to stderr.
+// GOMAXPROCS), and -workers bounds the intra-run pool the parallel join
+// kernels use inside each simulation (default: GOMAXPROCS). Both change
+// wall-clock time only — the reported virtual times, and therefore the
+// printed figures, are byte-identical at any setting of either. A per-cell
+// profiling summary goes to stderr.
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 		exp        = flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, fig8, position, delays, resilience, multiquery, star, ablations, ablation-bmt, ablation-batch, ablation-queue, ablation-message, ablation-skew, ablation-memory")
 		reps       = flag.Int("reps", 3, "measurement repetitions (paper: 3)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulator runs; figure output is identical at any setting")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "intra-run worker pool of the parallel join kernels; figure output is identical at any setting")
 		small      = flag.Bool("small", false, "run at 1/10 scale (fast)")
 		csv        = flag.Bool("csv", false, "also print CSV data")
 		chart      = flag.Bool("chart", false, "also draw ASCII charts")
@@ -60,7 +63,7 @@ func main() {
 			f.Close()
 		}()
 	}
-	err := run(*exp, *reps, *parallel, *small, *csv, *chart, *planCache, *faults, *faultSeed)
+	err := run(*exp, *reps, *parallel, *workers, *small, *csv, *chart, *planCache, *faults, *faultSeed)
 	if err == nil && *memprofile != "" {
 		err = writeMemProfile(*memprofile)
 	}
@@ -86,12 +89,15 @@ func writeMemProfile(path string) error {
 	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
-func run(exp string, reps, parallel int, small, csv, chart, planCache bool, faults string, faultSeed int64) error {
+func run(exp string, reps, parallel, workers int, small, csv, chart, planCache bool, faults string, faultSeed int64) error {
 	if reps < 1 {
 		return fmt.Errorf("-reps must be at least 1, got %d", reps)
 	}
 	if parallel < 1 {
 		return fmt.Errorf("-parallel must be at least 1, got %d", parallel)
+	}
+	if workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", workers)
 	}
 	o := experiment.DefaultOptions()
 	o.Small = small
@@ -102,16 +108,17 @@ func run(exp string, reps, parallel int, small, csv, chart, planCache bool, faul
 	for i := 1; i <= reps; i++ {
 		o.Seeds = append(o.Seeds, int64(i))
 	}
+	cfg := o.ExecConfig()
+	cfg.Workers = workers
 	if faults != "" {
 		plan, err := fault.Parse(faults)
 		if err != nil {
 			return err
 		}
-		cfg := o.ExecConfig()
 		cfg.Faults = plan
 		cfg.FaultSeed = faultSeed
-		o.Config = &cfg
 	}
+	o.Config = &cfg
 	out := os.Stdout
 
 	show := func(fig *experiment.Figure, err error) error {

@@ -7,7 +7,7 @@ import (
 
 func TestRunRejectsNonPositiveReps(t *testing.T) {
 	for _, reps := range []int{0, -1, -3} {
-		err := run("table1", reps, 1, true, false, false, true, "", 1)
+		err := run("table1", reps, 1, 1, true, false, false, true, "", 1)
 		if err == nil {
 			t.Fatalf("reps=%d accepted; a non-positive repetition count must not silently fall back to one run", reps)
 		}
@@ -18,7 +18,7 @@ func TestRunRejectsNonPositiveReps(t *testing.T) {
 }
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
-	err := run("bogus", 1, 1, true, false, false, false, "", 1)
+	err := run("bogus", 1, 1, 1, true, false, false, false, "", 1)
 	if err == nil {
 		t.Fatal("unknown experiment accepted; it must not silently run nothing")
 	}
@@ -29,12 +29,24 @@ func TestRunRejectsUnknownExperiment(t *testing.T) {
 
 func TestRunRejectsNonPositiveParallel(t *testing.T) {
 	for _, parallel := range []int{0, -4} {
-		err := run("table1", 1, parallel, true, false, false, false, "", 1)
+		err := run("table1", 1, parallel, 1, true, false, false, false, "", 1)
 		if err == nil {
 			t.Fatalf("parallel=%d accepted", parallel)
 		}
 		if !strings.Contains(err.Error(), "-parallel") {
 			t.Errorf("parallel=%d: error %q does not name the flag", parallel, err)
+		}
+	}
+}
+
+func TestRunRejectsNonPositiveWorkers(t *testing.T) {
+	for _, workers := range []int{0, -8} {
+		err := run("table1", 1, 1, workers, true, false, false, false, "", 1)
+		if err == nil {
+			t.Fatalf("workers=%d accepted; a non-positive intra-run pool must not silently fall back to serial", workers)
+		}
+		if !strings.Contains(err.Error(), "-workers") {
+			t.Errorf("workers=%d: error %q does not name the flag", workers, err)
 		}
 	}
 }

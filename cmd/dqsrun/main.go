@@ -6,8 +6,8 @@
 //
 //	dqsrun [-strategy NAME] [-small] [-slow REL=RETRIEVAL_SECONDS]...
 //	       [-wmin DUR] [-mem MB] [-bmt F] [-trace] [-gantt] [-seed N]
-//	       [-faults SPEC] [-fault-seed N] [-partial] [-plan-cache]
-//	       [-list-strategies]
+//	       [-workers N] [-faults SPEC] [-fault-seed N] [-partial]
+//	       [-plan-cache] [-list-strategies]
 //
 // Example: watch DSE degrade the blocked chains while wrapper A crawls,
 // with a Gantt chart of fragment lifetimes:
@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -69,6 +70,7 @@ func main() {
 		trace     = flag.Bool("trace", false, "dump the execution trace")
 		gantt     = flag.Bool("gantt", false, "draw a Gantt chart of fragment lifetimes")
 		seed      = flag.Int64("seed", 1, "random seed (data and delays)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "intra-run worker pool of the parallel join kernels; the run summary is identical at any setting")
 		faults    = flag.String("faults", "", "fault scenario, e.g. 'C:burst@100+500x300us;D:kill@5000;D:replica,connect=50ms'")
 		faultSeed = flag.Int64("fault-seed", 1, "random seed of the fault scenario's timing draws")
 		partial   = flag.Bool("partial", false, "allow partial results when a wrapper dies with no replica")
@@ -81,7 +83,7 @@ func main() {
 		listStrategies(os.Stdout)
 		return
 	}
-	if err := run(*strategy, *small, *wmin, *memMB, *bmt, *trace, *gantt, *seed, *faults, *faultSeed, *partial, *planCache, slow); err != nil {
+	if err := run(*strategy, *small, *wmin, *memMB, *bmt, *trace, *gantt, *seed, *workers, *faults, *faultSeed, *partial, *planCache, slow); err != nil {
 		fmt.Fprintln(os.Stderr, "dqsrun:", err)
 		os.Exit(1)
 	}
@@ -102,7 +104,10 @@ func listStrategies(w io.Writer) {
 	}
 }
 
-func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, trace, gantt bool, seed int64, faults string, faultSeed int64, partial, planCache bool, slow slowFlags) error {
+func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, trace, gantt bool, seed int64, workers int, faults string, faultSeed int64, partial, planCache bool, slow slowFlags) error {
+	if workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", workers)
+	}
 	var (
 		w   *dqs.Workload
 		err error
@@ -117,6 +122,7 @@ func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, tr
 	}
 	cfg := dqs.DefaultConfig()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	cfg.MemoryBytes = int64(memMB * (1 << 20))
 	cfg.BMT = bmt
 	cfg.InitialWaitEstimate = wmin

@@ -69,6 +69,21 @@ type Config struct {
 	// Seed drives every random stream (delays). Runs with equal seeds and
 	// configs are bit-identical.
 	Seed int64
+	// Workers bounds the intra-run worker pool that parallelizes the join
+	// kernels: partition-parallel hash builds and probe-cascade
+	// precomputation run across up to Workers goroutines, with a
+	// deterministic input-ordered merge applying every cost charge, window
+	// credit and sink, so emitted tuples, virtual times and figure bytes
+	// are identical at any setting. 0 or 1 (the default) runs serially —
+	// the experiment harness already parallelizes across cells, so
+	// intra-run workers are opt-in (CLIs default them to GOMAXPROCS).
+	Workers int
+	// Partitions overrides the radix-partition count of the join hash
+	// tables (a power of two). 0 picks automatically: 1 partition when
+	// Workers <= 1, otherwise enough partitions to keep Workers busy on
+	// parallel builds. Results are identical at any partition count; the
+	// knob exists so differential tests can pin the grid.
+	Partitions int
 	// PerTupleDataflow switches fragments and the DPHJ network back to the
 	// pop-one-tuple-at-a-time input protocol instead of the batched PopN/
 	// Credit path. The two paths are bit-identical by construction; the
@@ -136,6 +151,37 @@ type Config struct {
 // row path too.
 func (c Config) columnarDataflow() bool { return !c.RowDataflow && !c.PerTupleDataflow }
 
+// workers returns the effective intra-run worker count (>= 1).
+func (c Config) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// maxAutoPartitions caps the automatic partition count: more partitions
+// than this buys no extra build parallelism at realistic worker counts but
+// multiplies per-partition fixed storage.
+const maxAutoPartitions = 64
+
+// partitions returns the effective hash-table partition count: the
+// explicit override when set, otherwise 1 for serial runs and a multiple
+// of the worker count (for scatter balance) capped at maxAutoPartitions.
+func (c Config) partitions() int {
+	if c.Partitions > 0 {
+		return c.Partitions
+	}
+	w := c.workers()
+	if w == 1 {
+		return 1
+	}
+	p := 1
+	for p < 4*w && p < maxAutoPartitions {
+		p *= 2
+	}
+	return p
+}
+
 // DefaultConfig returns the configuration used by the paper's experiments:
 // Table 1 costs, ample memory, bmt = 1.
 func DefaultConfig() Config {
@@ -185,6 +231,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("exec: ScrambleTimeout must be positive, got %v", c.ScrambleTimeout)
 	case c.ScrambleSwitchInstr < 0:
 		return fmt.Errorf("exec: ScrambleSwitchInstr must be non-negative, got %d", c.ScrambleSwitchInstr)
+	case c.Workers < 0:
+		return fmt.Errorf("exec: Workers must be non-negative, got %d", c.Workers)
+	case c.Partitions < 0:
+		return fmt.Errorf("exec: Partitions must be non-negative, got %d", c.Partitions)
+	case c.Partitions > 0 && c.Partitions&(c.Partitions-1) != 0:
+		return fmt.Errorf("exec: Partitions must be a power of two, got %d", c.Partitions)
 	}
 	if c.Faults.Active() {
 		if err := c.Faults.Validate(); err != nil {

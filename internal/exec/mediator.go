@@ -34,6 +34,9 @@ type Mediator struct {
 	rts       []*Runtime
 	reclaimed bool
 	flt       *faultState
+	// pool is the intra-run worker pool of the parallel join kernels; nil
+	// on a serial configuration (Workers <= 1).
+	pool *workerPool
 
 	replans    int
 	degrades   int
@@ -64,6 +67,7 @@ func NewMediator(cfg Config) (*Mediator, error) {
 		CM:    comm.NewManager(),
 		Trace: cfg.Trace,
 		rng:   sim.NewRNG(cfg.Seed),
+		pool:  newWorkerPool(cfg.workers()),
 	}
 	m.CM.ChangeFactor = cfg.RateChangeFactor
 	if cfg.Scratch != nil {
@@ -178,7 +182,7 @@ func (m *Mediator) AddQuery(label string, root *plan.Node, ds relation.Dataset, 
 		}
 	}
 	for _, j := range plan.Joins(root) {
-		ht := m.Cfg.Scratch.Table(j.Build.Schema.MustIndexOf(j.BuildKey))
+		ht := m.Cfg.Scratch.Table(j.Build.Schema.MustIndexOf(j.BuildKey), m.Cfg.partitions())
 		// Pre-size the build from the best cardinality knowledge available:
 		// the actual row count a prior run of this plan recorded at build
 		// completion, falling back to the optimizer's estimate at first

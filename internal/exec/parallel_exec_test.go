@@ -1,0 +1,189 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"dqs/internal/plan"
+	"dqs/internal/relation"
+	"dqs/internal/sim"
+)
+
+// fanoutPlan builds Output(J2(build = J1(build=B, probe=A), probe=C)) over
+// a dataset where B's join key has a two-value domain, so every A tuple
+// probing J1 matches ~half of B — output runs far past parallelMinBatch,
+// the shape that drives the partition-parallel build kernel on p_A's
+// TermBuild terminal.
+func fanoutPlan(t *testing.T) (*plan.Node, relation.Dataset) {
+	t.Helper()
+	cat := relation.NewCatalog()
+	aRel := cat.MustAdd("A", 512, "id", "k")
+	bRel := cat.MustAdd("B", 256, "id", "k")
+	cRel := cat.MustAdd("C", 512, "id", "k")
+	g := relation.NewGenerator(sim.NewRNG(5))
+	ds := relation.Dataset{
+		"A": g.MustGenerate(aRel, relation.ColumnSpec{Col: "k", Domain: 2}),
+		"B": g.MustGenerate(bRel, relation.ColumnSpec{Col: "k", Domain: 2}),
+		"C": g.MustGenerate(cRel, relation.ColumnSpec{Col: "k", Domain: 2}),
+	}
+	b := plan.NewBuilder()
+	col := func(r, c string) relation.ColRef { return relation.ColRef{Rel: r, Col: c} }
+	sa, err := b.Scan(aRel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Scan(bRel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := b.Scan(cRel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := b.HashJoin(sb, sa, col("B", "k"), col("A", "k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := b.HashJoin(j1, sc, col("B", "k"), col("C", "k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := b.Output(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := plan.NewStats()
+	st.SetDomain(col("A", "k"), 2)
+	st.SetDomain(col("B", "k"), 2)
+	st.SetDomain(col("C", "k"), 2)
+	if err := st.Annotate(root); err != nil {
+		t.Fatal(err)
+	}
+	return root, ds
+}
+
+// TestParallelBuildEngagesAndMatchesSerial runs the fanout plan serially
+// and at several worker counts: the run summaries must be deeply equal,
+// and the parallel configurations must actually have exercised both
+// parallel kernels (partition-parallel builds and parallel probe batches)
+// — guarding against the gates silently keeping everything serial.
+func TestParallelBuildEngagesAndMatchesSerial(t *testing.T) {
+	root, ds := fanoutPlan(t)
+	run := func(workers int) (Result, int64, int64) {
+		cfg := testConfig()
+		cfg.Workers = workers
+		cfg.MemoryBytes = 256 << 20
+		rt, err := NewRuntime(cfg, root, ds, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runSEQ(rt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res, rt.parallelBuilds, rt.parallelBatches
+	}
+	ref, builds, batches := run(1)
+	if builds != 0 || batches != 0 {
+		t.Fatalf("serial run used parallel kernels: builds=%d batches=%d", builds, batches)
+	}
+	for _, workers := range []int{2, 8} {
+		res, builds, batches := run(workers)
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("workers=%d diverged from serial:\nserial:   %+v\nparallel: %+v", workers, ref, res)
+		}
+		if builds == 0 {
+			t.Errorf("workers=%d: partition-parallel build never engaged", workers)
+		}
+		if batches == 0 {
+			t.Errorf("workers=%d: parallel probe batches never engaged", workers)
+		}
+	}
+}
+
+// TestWorkerPoolRunCoversAllTasks pins the pool's task distribution: every
+// task index runs exactly once regardless of worker/task ratio.
+func TestWorkerPoolRunCoversAllTasks(t *testing.T) {
+	for _, workers := range []int{2, 3, 8} {
+		for _, tasks := range []int{0, 1, 2, 7, 64} {
+			pool := newWorkerPool(workers)
+			counts := make([]int64, tasks)
+			pool.Run(tasks, func(i int) { counts[i]++ })
+			for i, c := range counts {
+				if c != 1 {
+					t.Errorf("workers=%d tasks=%d: task %d ran %d times", workers, tasks, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerPoolSerialIsNil pins the serial short-circuit: width <= 1 means
+// no pool at all, so call sites take the serial path with zero overhead.
+func TestWorkerPoolSerialIsNil(t *testing.T) {
+	if newWorkerPool(0) != nil || newWorkerPool(1) != nil {
+		t.Error("width <= 1 must yield a nil pool")
+	}
+	if p := newWorkerPool(4); p == nil || p.Width() != 4 {
+		t.Errorf("newWorkerPool(4) = %+v", p)
+	}
+}
+
+// TestChunkBounds pins the chunking arithmetic: chunks tile [0, n) exactly,
+// in order, and respect the minimum chunk size.
+func TestChunkBounds(t *testing.T) {
+	for _, n := range []int{1, 31, 64, 100, 256, 1000} {
+		for _, workers := range []int{1, 2, 8, 16} {
+			chunks := chunkCount(n, workers)
+			if chunks < 1 || chunks > workers {
+				t.Fatalf("chunkCount(%d, %d) = %d", n, workers, chunks)
+			}
+			if chunks > 1 && n/chunks < minChunkTuples {
+				t.Errorf("chunkCount(%d, %d) = %d: chunks below %d tuples", n, workers, chunks, minChunkTuples)
+			}
+			prev := 0
+			for c := 0; c < chunks; c++ {
+				lo, hi := chunkBounds(c, chunks, n)
+				if lo != prev || hi < lo {
+					t.Fatalf("chunkBounds(%d, %d, %d) = [%d, %d), want lo %d", c, chunks, n, lo, hi, prev)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("chunks of %d/%d end at %d", n, workers, prev)
+			}
+		}
+	}
+}
+
+// TestConfigWorkersValidation pins the Workers/Partitions validation and
+// the derived pool shape.
+func TestConfigWorkersValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative Workers accepted")
+	}
+	cfg = testConfig()
+	cfg.Partitions = -2
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative Partitions accepted")
+	}
+	cfg = testConfig()
+	cfg.Partitions = 3
+	if err := cfg.Validate(); err == nil {
+		t.Error("non-power-of-two Partitions accepted")
+	}
+	cfg = testConfig()
+	if got := cfg.partitions(); got != 1 {
+		t.Errorf("serial partitions() = %d, want 1", got)
+	}
+	cfg.Workers = 8
+	if got := cfg.partitions(); got&(got-1) != 0 || got < 8 {
+		t.Errorf("partitions() at 8 workers = %d, want a power of two >= 8", got)
+	}
+	cfg.Partitions = 4
+	if got := cfg.partitions(); got != 4 {
+		t.Errorf("partitions() override = %d, want 4", got)
+	}
+}

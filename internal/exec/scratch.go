@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"time"
+
 	"dqs/internal/comm"
 	"dqs/internal/operator"
 	"dqs/internal/relation"
@@ -28,11 +30,12 @@ const (
 // call sites need no pooling branch.
 type Scratch struct {
 	queues  []*comm.Queue
-	tables  []*operator.HashTable
+	tables  []*operator.PartitionedHashTable
 	ints    [][]int64
 	tuples  [][]relation.Tuple
 	batches []*relation.Batch
 	bools   [][]bool
+	durs    [][]time.Duration
 
 	// buildRows remembers the exact cardinality of each completed hash-table
 	// build, keyed by plan join-node ID, as the pre-size hint for the next
@@ -72,22 +75,22 @@ func (s *Scratch) PutQueue(q *comm.Queue) {
 	s.queues = append(s.queues, q)
 }
 
-// Table returns an empty hash table keyed on keyIdx, recycled when
-// available.
-func (s *Scratch) Table(keyIdx int) *operator.HashTable {
+// Table returns an empty hash table keyed on keyIdx with the given
+// power-of-two partition count, recycled when available.
+func (s *Scratch) Table(keyIdx, parts int) *operator.PartitionedHashTable {
 	if s != nil && len(s.tables) > 0 {
 		last := len(s.tables) - 1
 		h := s.tables[last]
 		s.tables[last] = nil
 		s.tables = s.tables[:last]
-		h.Recycle(keyIdx)
+		h.Recycle(keyIdx, parts)
 		return h
 	}
-	return operator.NewHashTable(keyIdx)
+	return operator.NewPartitioned(keyIdx, parts)
 }
 
 // PutTable returns a hash table to the pool once its run is over.
-func (s *Scratch) PutTable(h *operator.HashTable) {
+func (s *Scratch) PutTable(h *operator.PartitionedHashTable) {
 	if s == nil || h == nil || len(s.tables) >= maxPooledTables {
 		return
 	}
@@ -113,6 +116,33 @@ func (s *Scratch) PutInts(b []int64) {
 		return
 	}
 	s.ints = append(s.ints, b[:0])
+}
+
+// GetIntsCap returns the best-fitting pooled arena of at least the given
+// capacity — the smallest one that is big enough — or nil when none
+// qualifies. Implements mem.CapIntRecycler for pre-sized temp arenas.
+func (s *Scratch) GetIntsCap(capacity int) []int64 {
+	if s == nil {
+		return nil
+	}
+	best := -1
+	for i, b := range s.ints {
+		if cap(b) < capacity {
+			continue
+		}
+		if best < 0 || cap(b) < cap(s.ints[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	b := s.ints[best]
+	last := len(s.ints) - 1
+	s.ints[best] = s.ints[last]
+	s.ints[last] = nil
+	s.ints = s.ints[:last]
+	return b
 }
 
 // GetBatch returns a recycled columnar batch reset to the given width (the
@@ -157,6 +187,27 @@ func (s *Scratch) PutBools(b []bool) {
 		return
 	}
 	s.bools = append(s.bools, b[:0])
+}
+
+// GetDurs returns a recycled per-tuple duration scratch slice (length
+// zero), or nil when the pool is empty.
+func (s *Scratch) GetDurs() []time.Duration {
+	if s == nil || len(s.durs) == 0 {
+		return nil
+	}
+	last := len(s.durs) - 1
+	b := s.durs[last]
+	s.durs[last] = nil
+	s.durs = s.durs[:last]
+	return b
+}
+
+// PutDurs reclaims a per-tuple duration scratch slice.
+func (s *Scratch) PutDurs(b []time.Duration) {
+	if s == nil || cap(b) == 0 || len(s.durs) >= maxPooledSlices {
+		return
+	}
+	s.durs = append(s.durs, b[:0])
 }
 
 // RecordBuildRows stores the exact cardinality of a completed build as the

@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelMinBatch gates intra-run parallelism by batch size: a popped
+// input run smaller than this stays on the serial path, because fanning a
+// few tuples out to goroutines costs more than their cascades. The gate
+// affects wall-clock only — the parallel path merges in input order and is
+// bit-identical to the serial one at any threshold.
+const parallelMinBatch = 64
+
+// minChunkTuples bounds how finely a parallel batch is chunked: each chunk
+// should carry enough cascade work to amortize its goroutine.
+const minChunkTuples = 32
+
+// workerPool fans intra-run kernel work — partition builds, probe-cascade
+// precomputation — out to a bounded set of goroutines. The pool is
+// spawn-per-call: Run starts at most n goroutines, waits for them, and
+// leaves nothing behind, so runs never leak goroutines no matter how they
+// end. Worker goroutines are pprof-labeled (dqs_worker=i) so CPU profiles
+// attribute parallel kernel time per worker.
+//
+// Everything a task touches must be private to the task or read-only for
+// the duration of Run; the clock, memory accounting and queues are NOT —
+// tasks must never touch them. Determinism therefore never depends on
+// worker count: tasks only fill task-indexed result slots that a serial
+// merge consumes afterwards.
+type workerPool struct {
+	n int
+}
+
+// newWorkerPool returns a pool of the given width, or nil when width <= 1
+// (the serial configuration, where call sites skip the parallel path
+// entirely).
+func newWorkerPool(n int) *workerPool {
+	if n <= 1 {
+		return nil
+	}
+	return &workerPool{n: n}
+}
+
+// Width returns the worker bound.
+func (p *workerPool) Width() int { return p.n }
+
+// Run executes fn(0..tasks-1) across at most Width() goroutines and
+// returns when every task finished. The caller's goroutine does not run
+// tasks itself; with tasks <= 1 the single task runs inline.
+func (p *workerPool) Run(tasks int, fn func(task int)) {
+	if tasks <= 0 {
+		return
+	}
+	if tasks == 1 {
+		fn(0)
+		return
+	}
+	workers := p.n
+	if workers > tasks {
+		workers = tasks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pprof.Do(context.Background(), pprof.Labels("dqs_worker", strconv.Itoa(w)), func(context.Context) {
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= tasks {
+						return
+					}
+					fn(i)
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+}
+
+// chunkCount returns how many contiguous chunks a parallel batch of n
+// tuples splits into: at most one per worker, and never so many that a
+// chunk drops below minChunkTuples.
+func chunkCount(n, workers int) int {
+	c := n / minChunkTuples
+	if c > workers {
+		c = workers
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// chunkBounds returns the half-open tuple range of chunk c of n tuples
+// split into chunks contiguous chunks.
+func chunkBounds(c, chunks, n int) (lo, hi int) {
+	lo = c * n / chunks
+	hi = (c + 1) * n / chunks
+	return lo, hi
+}

@@ -30,7 +30,7 @@ func (o Options) ablationDeliveries(cfg exec.Config) func(w *workload.Workload) 
 func AblationBMT(o Options) (*Figure, error) {
 	fig := NewFigure("Ablation/bmt", "benefit materialization threshold sweep",
 		"bmt", "value", "DSE(s)", "degradations", "mat(Ktuples)")
-	sw := o.newSweep()
+	sw := o.newSweep(fig.ID)
 	bmts := []float64{0, 0.25, 0.5, 1, 1.5, 2, 4, 1e9}
 	groups := make([]seedGroup, len(bmts))
 	for i, bmt := range bmts {
@@ -59,7 +59,7 @@ func AblationBMT(o Options) (*Figure, error) {
 func AblationBatch(o Options) (*Figure, error) {
 	fig := NewFigure("Ablation/batch", "DQP batch size sweep",
 		"batch(tuples)", "value", "DSE(s)", "replans")
-	sw := o.newSweep()
+	sw := o.newSweep(fig.ID)
 	batches := []int{16, 64, 256, 1024, 4096, 16384}
 	groups := make([]seedGroup, len(batches))
 	for i, batch := range batches {
@@ -106,7 +106,7 @@ func floatsOf(xs []int) []float64 {
 // and message ablations: one configuration per x-value, both strategies,
 // averaged over the option seeds.
 func (o Options) twoStrategySweep(fig *Figure, xs []float64, mkCfg func(x int) exec.Config) (*Figure, error) {
-	sw := o.newSweep()
+	sw := o.newSweep(fig.ID)
 	type point struct{ seq, dse seedGroup }
 	points := make([]point, len(xs))
 	for i, x := range xs {
@@ -145,7 +145,7 @@ func AblationMessage(o Options) (*Figure, error) {
 func AblationSkew(o Options) (*Figure, error) {
 	fig := NewFigure("Ablation/skew", "optimizer estimation-error sweep",
 		"skew(x)", "value", "DSE(s)", "memRepairs")
-	sw := o.newSweep()
+	sw := o.newSweep(fig.ID)
 	skews := []float64{0.25, 0.5, 1, 2, 4}
 	groups := make([]seedGroup, len(skews))
 	for i, skew := range skews {
@@ -171,21 +171,23 @@ func AblationSkew(o Options) (*Figure, error) {
 	return fig, nil
 }
 
-// loadSkewed builds a skewed-estimate workload at the options' scale (the
-// skew invalidates the shared cache, so these are built fresh).
+// loadSkewed builds (or reuses) a skewed-estimate workload at the options'
+// scale. Skewed variants are cached like every other workload — keyed by
+// the skew factor — because they too are read-only during execution; the
+// skew sweep re-runs each (seed, skew) dataset across its whole
+// configuration grid, and regeneration used to dominate the sweep's
+// allocations.
 func loadSkewed(o Options, seed int64, skew float64) (*workload.Workload, error) {
-	if o.Small {
-		w, err := workload.Fig5Small(seed)
-		if err != nil {
-			return nil, err
-		}
-		if skew == 1 {
-			return w, nil
-		}
-		// Rebuild the small workload with skewed stats.
-		return workload.Fig5SmallSkewed(seed, skew)
+	if skew == 1 {
+		return o.loadWorkload(seed)
 	}
-	return workload.Fig5Skewed(seed, skew)
+	return loadCachedWorkload(workloadKey{kind: "fig5-skew", seed: seed, small: o.Small, skew: skew},
+		func() (*workload.Workload, error) {
+			if o.Small {
+				return workload.Fig5SmallSkewed(seed, skew)
+			}
+			return workload.Fig5Skewed(seed, skew)
+		})
 }
 
 // AblationMemory sweeps the memory grant: below the workload's natural
@@ -199,7 +201,7 @@ func AblationMemory(o Options) (*Figure, error) {
 	if o.Small {
 		grantsMB = []float64{0.3, 0.5, 0.8, 0.9, 1, 1.2, 1.6, 3.2, 6.4}
 	}
-	sw := o.newSweep()
+	sw := o.newSweep(fig.ID)
 	// An infeasible grant is an expected per-point outcome, not a sweep
 	// failure.
 	sw.tolerate = func(err error) bool { return errors.Is(err, core.ErrInsufficientMemory) }

@@ -60,7 +60,7 @@ func DelayClasses(o Options) (*Figure, error) {
 			return d
 		}},
 	}
-	sw := o.newSweep()
+	sw := o.newSweep(fig.ID)
 	groups := make([][]seedGroup, len(scenarios))
 	for i, sc := range scenarios {
 		for _, strat := range []string{"SEQ", "SCR", "DPHJ", "DSE"} {

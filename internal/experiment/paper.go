@@ -97,7 +97,7 @@ func SlowOne(o Options, relName string) (*Figure, error) {
 		mk     deliveriesFn
 		groups []seedGroup
 	}
-	sw := o.newSweep()
+	sw := o.newSweep(fig.ID)
 	var points []point
 	seen := make(map[time.Duration]bool)
 	for _, x := range o.slowdownPoints() {
@@ -165,7 +165,7 @@ func Fig8(o Options) (*Figure, error) {
 	cfg := o.config()
 	fig := NewFigure("Figure 8", "several slowed-down relations (uniform w_min)",
 		"w_min(us)", "value", "SEQ(s)", "DSE(s)", "gain(%)")
-	sw := o.newSweep()
+	sw := o.newSweep(fig.ID)
 	type point struct {
 		us       float64
 		seq, dse seedGroup
@@ -208,7 +208,7 @@ func PositionSweep(o Options, retrievalSeconds float64) (*Figure, error) {
 	fig := NewFigure("Position", fmt.Sprintf("slowed relation position (retrieval=%.1fs)", retrievalSeconds),
 		"relation#", "response time (s)", strategies...)
 	names := []string{"A", "B", "C", "D", "E", "F"}
-	sw := o.newSweep()
+	sw := o.newSweep(fig.ID)
 	groups := make([][]seedGroup, len(names))
 	for i, name := range names {
 		name := name

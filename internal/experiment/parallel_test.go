@@ -204,7 +204,7 @@ func TestRunStatsObserves(t *testing.T) {
 
 func TestSweepToleratedErrors(t *testing.T) {
 	o := Options{Seeds: []int64{1}, Small: true, Parallel: 2}
-	sw := o.newSweep()
+	sw := o.newSweep("test")
 	sentinel := errors.New("expected failure")
 	sw.tolerate = func(err error) bool { return errors.Is(err, sentinel) }
 	cfg := exec.DefaultConfig()

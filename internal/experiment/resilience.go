@@ -46,7 +46,7 @@ func Resilience(o Options) (*Figure, error) {
 	mk := func(w *workload.Workload) map[string]exec.Delivery {
 		return uniformDeliveries(w, cfg.InitialWaitEstimate)
 	}
-	sw := o.newSweep()
+	sw := o.newSweep(fig.ID)
 	groups := make([][]seedGroup, len(levels))
 	for i, lv := range levels {
 		lcfg := cfg

@@ -64,6 +64,11 @@ type workloadKey struct {
 	kind  string // workload family: "fig5" or "star"
 	seed  int64
 	small bool
+	// skew is the optimizer estimation-error factor of skewed-stats
+	// variants (1 for accurate estimates). Keying on it lets the skew
+	// ablation share cached datasets too — the data is identical across
+	// skews; only the annotated estimates differ.
+	skew float64
 }
 
 // workloadEntry is one singleflight slot of the workload cache: the entry

@@ -1,8 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +25,9 @@ type deliveriesFn func(w *workload.Workload) map[string]exec.Delivery
 // mediator with its own virtual clock, so any number can execute
 // concurrently without changing the virtual times they report.
 type Cell struct {
+	// Figure names the figure (or sweep) the cell belongs to; it becomes
+	// the cell's dqs_figure pprof label. Empty means unlabeled.
+	Figure string
 	// Load returns the cell's workload; nil means the options' Figure-5
 	// workload for Seed, shared through the workload cache.
 	Load func() (*workload.Workload, error)
@@ -158,7 +164,10 @@ func (o Options) forEach(n int, job func(i int) error) error {
 	return firstErr
 }
 
-// runCell executes one cell on a fresh mediator and profiles it.
+// runCell executes one cell on a fresh mediator and profiles it. The run
+// carries pprof labels (dqs_figure, dqs_cell = strategy, dqs_seed) so CPU
+// profiles of a sweep break down by grid entry; together with the kernels'
+// dqs_worker labels a profile attributes samples to (figure, cell, worker).
 func (o Options) runCell(c Cell) CellResult {
 	start := time.Now()
 	load := c.Load
@@ -166,16 +175,19 @@ func (o Options) runCell(c Cell) CellResult {
 		load = func() (*workload.Workload, error) { return o.loadWorkload(c.Seed) }
 	}
 	var out CellResult
-	w, err := load()
-	if err == nil {
-		cfg := c.Config
-		cfg.Seed = c.Seed
-		if o.PlanCache {
-			cfg.Plans = sharedPlans
+	labels := pprof.Labels("dqs_figure", c.Figure, "dqs_cell", c.Strategy, "dqs_seed", strconv.FormatInt(c.Seed, 10))
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		w, err := load()
+		if err == nil {
+			cfg := c.Config
+			cfg.Seed = c.Seed
+			if o.PlanCache {
+				cfg.Plans = sharedPlans
+			}
+			out.Result, err = runStrategy(w, cfg, c.Deliveries(w), c.Strategy)
 		}
-		out.Result, err = runStrategy(w, cfg, c.Deliveries(w), c.Strategy)
-	}
-	out.Err = err
+		out.Err = err
+	})
 	out.Wall = time.Since(start)
 	o.Stats.observe(out)
 	return out
@@ -204,6 +216,7 @@ type seedGroup struct{ start, n int }
 // assembly reads back in deterministic order.
 type sweep struct {
 	o       Options
+	figure  string
 	cells   []Cell
 	results []CellResult
 	// tolerate marks errors that are expected per-point outcomes (e.g. an
@@ -211,8 +224,9 @@ type sweep struct {
 	tolerate func(error) bool
 }
 
-// newSweep starts an empty sweep over the options' seeds and worker pool.
-func (o Options) newSweep() *sweep { return &sweep{o: o} }
+// newSweep starts an empty sweep over the options' seeds and worker pool;
+// figure names the sweep in its cells' pprof labels.
+func (o Options) newSweep(figure string) *sweep { return &sweep{o: o, figure: figure} }
 
 // add enqueues one cell per option seed and returns the group handle used
 // to read the averaged results back after run. A nil load means the
@@ -220,7 +234,7 @@ func (o Options) newSweep() *sweep { return &sweep{o: o} }
 func (s *sweep) add(cfg exec.Config, strategy string, mk deliveriesFn, load func(seed int64) (*workload.Workload, error)) seedGroup {
 	g := seedGroup{start: len(s.cells)}
 	for _, seed := range s.o.seeds() {
-		c := Cell{Seed: seed, Config: cfg, Strategy: strategy, Deliveries: mk}
+		c := Cell{Figure: s.figure, Seed: seed, Config: cfg, Strategy: strategy, Deliveries: mk}
 		if load != nil {
 			seed := seed
 			c.Load = func() (*workload.Workload, error) { return load(seed) }

@@ -24,7 +24,7 @@ func StarSweep(o Options) (*Figure, error) {
 	fig := NewFigure("Star", fmt.Sprintf("star schema: %d slow dimensions, fast fact", spec.Dimensions),
 		"dim-wait(us)", "response time (s)",
 		append(append([]string{}, strategies...), "LWB")...)
-	sw := o.newSweep()
+	sw := o.newSweep(fig.ID)
 	type point struct {
 		us     float64
 		mk     deliveriesFn

@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dqs/internal/exec"
+	"dqs/internal/workload"
+)
+
+// workersDiff runs one (workload, config, deliveries, strategy) cell on the
+// serial path and on the partition-parallel path at several worker and
+// partition counts, requiring every run summary to be deeply equal to the
+// serial reference — virtual nanosecond for virtual nanosecond. This is
+// the differential proof behind the morsel-style kernels: worker count and
+// partition count are wall-clock knobs only.
+func workersDiff(t *testing.T, name string, w *workload.Workload, cfg exec.Config, mk func(w *workload.Workload) map[string]exec.Delivery, strategy string) {
+	t.Helper()
+	run := func(workers, partitions int) exec.Result {
+		c := cfg
+		c.Workers = workers
+		c.Partitions = partitions
+		res, err := runStrategy(w, c, mk(w), strategy)
+		if err != nil {
+			t.Fatalf("%s (workers=%d partitions=%d): %v", name, workers, partitions, err)
+		}
+		return res
+	}
+	ref := run(1, 0)
+	for _, workers := range []int{2, 4, 8} {
+		if got := run(workers, 0); !reflect.DeepEqual(ref, got) {
+			t.Errorf("%s: workers=%d diverged from serial:\nserial:   %+v\nparallel: %+v", name, workers, ref, got)
+		}
+	}
+	for _, partitions := range []int{2, 8} {
+		if got := run(4, partitions); !reflect.DeepEqual(ref, got) {
+			t.Errorf("%s: workers=4 partitions=%d diverged from serial:\nserial:   %+v\nparallel: %+v", name, partitions, ref, got)
+		}
+	}
+}
+
+// TestParallelKernelsMatchSerial sweeps the differential check across the
+// scheduling strategies, seeds and both delay classes of the dataflow
+// suite.
+func TestParallelKernelsMatchSerial(t *testing.T) {
+	o := Options{Small: true}
+	cfg := exec.DefaultConfig()
+	for class, mk := range dataflowDeliveries(cfg, o) {
+		for _, strategy := range []string{"SEQ", "MA", "SCR", "DSE"} {
+			for _, seed := range []int64{1, 2, 3} {
+				w, err := o.loadWorkload(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := cfg
+				c.Seed = seed
+				workersDiff(t, fmt.Sprintf("%s/%s seed %d", class, strategy, seed), w, c, mk, strategy)
+			}
+		}
+	}
+}
+
+// TestParallelKernelsMatchSerialUnderMemoryPressure repeats the check at
+// the ablation study's 2 MiB pressure point, driving the overflow paths —
+// mid-merge UnpopN, stranded pending outputs, memory repair — through the
+// parallel merge.
+func TestParallelKernelsMatchSerialUnderMemoryPressure(t *testing.T) {
+	o := Options{Small: true}
+	cfg := exec.DefaultConfig()
+	cfg.MemoryBytes = 2 << 20
+	mk := func(w *workload.Workload) map[string]exec.Delivery {
+		return uniformDeliveries(w, cfg.InitialWaitEstimate)
+	}
+	for _, strategy := range []string{"SEQ", "MA", "SCR", "DSE"} {
+		for _, seed := range []int64{1, 2, 3} {
+			w, err := o.loadWorkload(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cfg
+			c.Seed = seed
+			workersDiff(t, fmt.Sprintf("mem-pressure/%s seed %d", strategy, seed), w, c, mk, strategy)
+		}
+	}
+}
+
+// TestParallelKernelsMatchSerialRowDataflow repeats the check over the
+// row-oriented dataflow (the default path above is columnar), so both
+// parallel batch shapes — gathered per-lane rows and popped row runs — get
+// the differential treatment.
+func TestParallelKernelsMatchSerialRowDataflow(t *testing.T) {
+	o := Options{Small: true}
+	cfg := exec.DefaultConfig()
+	cfg.RowDataflow = true
+	for _, strategy := range []string{"SEQ", "MA", "SCR", "DSE"} {
+		for _, seed := range []int64{1, 2, 3} {
+			w, err := o.loadWorkload(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cfg
+			c.Seed = seed
+			mk := func(w *workload.Workload) map[string]exec.Delivery {
+				return uniformDeliveries(w, cfg.InitialWaitEstimate)
+			}
+			workersDiff(t, fmt.Sprintf("columnar/%s seed %d", strategy, seed), w, c, mk, strategy)
+		}
+	}
+}
+
+// TestParallelFigureBytesMatchSerial renders the DelayClasses figure with
+// the worker pool at 8 and requires output byte-identical to the serial
+// render — the check the committed golden figures rely on.
+func TestParallelFigureBytesMatchSerial(t *testing.T) {
+	render := func(workers int) []byte {
+		cfg := exec.DefaultConfig()
+		cfg.Workers = workers
+		o := Options{Small: true, Seeds: []int64{1, 2, 3}, Config: &cfg}
+		fig, err := DelayClasses(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		fig.Print(&buf)
+		buf.WriteString(fig.CSV())
+		return buf.Bytes()
+	}
+	ref := render(1)
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); !bytes.Equal(ref, got) {
+			t.Errorf("figure bytes diverged at workers=%d:\nserial:\n%s\nparallel:\n%s", workers, ref, got)
+		}
+	}
+}

@@ -30,6 +30,17 @@ type IntRecycler interface {
 	PutInts([]int64)
 }
 
+// CapIntRecycler is an optional IntRecycler extension: GetIntsCap returns a
+// pooled arena of at least the given capacity, or nil when none is big
+// enough. Pre-sized temps use it so a large materialization hint finds the
+// pool's grown arena instead of the last-returned (possibly tiny) one —
+// GetInts is size-blind, and under inflated optimizer estimates that
+// mismatch made every sized temp re-allocate its arena from scratch.
+type CapIntRecycler interface {
+	IntRecycler
+	GetIntsCap(capacity int) []int64
+}
+
 // NewTempStore binds a store to the mediator's disk and clock.
 func NewTempStore(params sim.Params, disk *sim.Disk, clock *sim.Clock) *TempStore {
 	return &TempStore{params: params, disk: disk, clock: clock, nextObj: 1}
@@ -102,14 +113,30 @@ func (s *TempStore) CreateSyncSized(name string, schema *relation.Schema, rows i
 }
 
 // sizeFor grows the (still empty) arena to hold rows tuples, keeping pooled
-// storage when it is already big enough.
+// storage when it is already big enough. A too-small pooled arena goes back
+// to the pool (not to the GC), and a size-aware pool is asked for a grown
+// arena first, so repeated sized materializations reach steady state with
+// no arena allocation even when the hint dwarfs the last-returned buffer.
 func (t *Temp) sizeFor(rows int) {
 	if rows <= 0 {
 		return
 	}
-	if need := rows * t.width; cap(t.data) < need {
-		t.data = make([]int64, 0, need)
+	need := rows * t.width
+	if cap(t.data) >= need {
+		return
 	}
+	pool := t.store.pool
+	if pool != nil {
+		if p, ok := pool.(CapIntRecycler); ok {
+			if b := p.GetIntsCap(need); b != nil {
+				pool.PutInts(t.data)
+				t.data = b[:0]
+				return
+			}
+		}
+		pool.PutInts(t.data)
+	}
+	t.data = make([]int64, 0, need)
 }
 
 // Temp is one temporary relation: tuples plus the virtual times at which
