@@ -39,12 +39,13 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Full benchmark run, compared against the committed baseline
-# (BENCH_5.json, recorded with the partition-parallel join kernels, the
-# cached skew workloads and the HashBuildParallel/ProbeParallel
-# benchmarks; BENCH_4.json is the columnar-dataflow reference,
-# BENCH_3.json planning-cache, BENCH_2.json post-batching, BENCH_1.json
-# pre-batching) via cmd/benchjson: fails if any benchmark regressed more
-# than 20% in ns/op, B/op or allocs/op. The raw output is staged in a file under the
+# (BENCH_6.json, recorded with the budget-aware materialization governor
+# and the BenchmarkFirstTupleLatency first-tuple-ms gate; BENCH_5.json is
+# the partition-parallel join-kernel reference, BENCH_4.json
+# columnar-dataflow, BENCH_3.json planning-cache, BENCH_2.json
+# post-batching, BENCH_1.json pre-batching) via cmd/benchjson: fails if
+# any benchmark regressed more than 20% in ns/op, B/op, allocs/op or a
+# gated custom metric (first-tuple-ms). The raw output is staged in a file under the
 # git-ignored out/ directory so a failing `go test` aborts the target
 # instead of feeding benchjson an empty stream, and the working tree stays
 # clean.
@@ -54,7 +55,7 @@ benchsmoke:
 # repeats every benchmark; benchjson collapses the repeats to their median,
 # which single 1s runs on a shared machine are too jittery to do without.
 BENCHFLAGS ?= -benchtime 1s -count 3
-BASELINE ?= BENCH_5.json
+BASELINE ?= BENCH_6.json
 bench:
 	@mkdir -p out
 	$(GO) test -p 1 -run '^$$' -bench . -benchmem $(BENCHFLAGS) ./... > out/bench.out

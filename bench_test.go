@@ -241,6 +241,34 @@ func benchStrategyOn(b *testing.B, s Strategy, load func(int64) (*Workload, erro
 	b.ReportMetric(virtual.Seconds(), "virtual-s/run")
 }
 
+// BenchmarkFirstTupleLatency runs the governed DSE engine under memory
+// pressure with one crawling wrapper and reports the virtual time to the
+// first result tuple in milliseconds. The metric is fully deterministic
+// (virtual clock), so benchjson gates it with zero slack: any growth is a
+// scheduling change, not measurement noise.
+func BenchmarkFirstTupleLatency(b *testing.B) {
+	w, err := Fig5Small(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Governor = true
+	cfg.MemoryBytes = 1 << 20
+	del := UniformDeliveries(w, 20*time.Microsecond)
+	del["A"] = Delivery{MeanWait: 100 * time.Microsecond}
+	spec := RunSpec{Workload: w, Config: cfg, Strategy: DSE, Deliveries: del}
+	var first time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first = res.FirstTupleTime
+	}
+	b.ReportMetric(float64(first)/float64(time.Millisecond), "first-tuple-ms")
+}
+
 // BenchmarkStrategySEQ measures the SEQ engine.
 func BenchmarkStrategySEQ(b *testing.B) { benchStrategy(b, SEQ) }
 

@@ -9,9 +9,10 @@
 // When the baseline file does not exist it is created from the piped
 // results. When it exists, the new results are compared against it and the
 // command fails if any benchmark regressed by more than -threshold (default
-// 20%) in ns/op, B/op or allocs/op. Pass -write to overwrite the baseline with
-// the new results instead (after a deliberate perf change, commit the
-// updated file together with the change that justifies it).
+// 20%) in ns/op, B/op, allocs/op, or one of the gated custom metrics
+// (first-tuple-ms). Pass -write to overwrite the baseline with the new
+// results instead (after a deliberate perf change, commit the updated file
+// together with the change that justifies it).
 package main
 
 import (
@@ -27,8 +28,9 @@ import (
 )
 
 // Benchmark is one benchmark's tracked numbers. Metrics carries custom
-// b.ReportMetric values (gain%, virtual-s/run, ...), which are informational
-// and not regression-checked.
+// b.ReportMetric values (gain%, virtual-s/run, ...); those listed in
+// gatedMetrics are regression-checked like ns/op, the rest are
+// informational.
 type Benchmark struct {
 	Name        string             `json:"name"`
 	NsPerOp     float64            `json:"ns_per_op"`
@@ -160,6 +162,47 @@ func regressed(old, new, threshold, slack float64) bool {
 	return new > old*(1+threshold)+slack
 }
 
+// gatedMetrics lists the custom b.ReportMetric units the regression gate
+// checks, with their absolute slack. first-tuple-ms is a deterministic
+// virtual-time measurement, so it gets no slack at all: any growth beyond
+// the relative threshold is a real scheduling change, not noise.
+var gatedMetrics = map[string]float64{
+	"first-tuple-ms": 0,
+}
+
+// compare returns the status column of one baseline/new benchmark pair:
+// "ok", or the space-joined list of "REGRESSED <metric>" markers.
+func compare(o, b Benchmark, threshold float64) string {
+	var bad []string
+	if regressed(o.NsPerOp, b.NsPerOp, threshold, 0) {
+		bad = append(bad, "REGRESSED ns/op")
+	}
+	if regressed(o.AllocsPerOp, b.AllocsPerOp, threshold, 2) {
+		bad = append(bad, "REGRESSED allocs/op")
+	}
+	// Bytes/op gates with extra slack (one page) so tiny benchmarks
+	// whose footprint is a few KB don't trip on allocator jitter, while
+	// MB-scale regressions — the skew ablation's failure mode — fail.
+	if regressed(o.BytesPerOp, b.BytesPerOp, threshold, 4096) {
+		bad = append(bad, "REGRESSED B/op")
+	}
+	// Gated custom metrics only fire when both sides report them: a metric
+	// newly added by a benchmark has no baseline to regress against, and a
+	// dropped one is caught by the baseline refresh workflow instead.
+	for unit, slack := range gatedMetrics {
+		ov, inOld := o.Metrics[unit]
+		nv, inNew := b.Metrics[unit]
+		if inOld && inNew && regressed(ov, nv, threshold, slack) {
+			bad = append(bad, "REGRESSED "+unit)
+		}
+	}
+	if len(bad) == 0 {
+		return "ok"
+	}
+	sort.Strings(bad)
+	return strings.Join(bad, " ")
+}
+
 func run() error {
 	var (
 		path      = flag.String("path", "BENCH_1.json", "baseline file: created when missing, compared against when present")
@@ -218,21 +261,7 @@ func run() error {
 				b.Name, b.NsPerOp, b.AllocsPerOp)
 			continue
 		}
-		status := "ok"
-		if regressed(o.NsPerOp, b.NsPerOp, *threshold, 0) {
-			status = "REGRESSED ns/op"
-		}
-		if regressed(o.AllocsPerOp, b.AllocsPerOp, *threshold, 2) {
-			status += " REGRESSED allocs/op"
-			status = strings.TrimPrefix(status, "ok ")
-		}
-		// Bytes/op gates with extra slack (one page) so tiny benchmarks
-		// whose footprint is a few KB don't trip on allocator jitter, while
-		// MB-scale regressions — the skew ablation's failure mode — fail.
-		if regressed(o.BytesPerOp, b.BytesPerOp, *threshold, 4096) {
-			status += " REGRESSED B/op"
-			status = strings.TrimPrefix(status, "ok ")
-		}
+		status := compare(o, b, *threshold)
 		fmt.Printf("benchjson: %-28s %-9s ns/op %12.0f -> %-12.0f B/op %12.0f -> %-12.0f allocs/op %10.0f -> %-10.0f\n",
 			b.Name, status, o.NsPerOp, b.NsPerOp, o.BytesPerOp, b.BytesPerOp, o.AllocsPerOp, b.AllocsPerOp)
 		if strings.Contains(status, "REGRESSED") {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -54,6 +55,47 @@ func TestRegressedThresholdAndSlack(t *testing.T) {
 	}
 	if !regressed(0, 3, 0.20, 2) {
 		t.Error("beyond-slack alloc jump not flagged")
+	}
+}
+
+func TestCompareGatesFirstTupleMetric(t *testing.T) {
+	old := Benchmark{Name: "FirstTupleLatency", NsPerOp: 1000,
+		Metrics: map[string]float64{"first-tuple-ms": 250, "virtual-s/run": 9}}
+	// Within threshold on every axis: ok.
+	if got := compare(old, Benchmark{NsPerOp: 1100,
+		Metrics: map[string]float64{"first-tuple-ms": 280}}, 0.20); got != "ok" {
+		t.Errorf("in-bounds run = %q, want ok", got)
+	}
+	// First-tuple latency growing past the threshold must fail even when
+	// ns/op improved — wall-clock speed can't buy back answer latency.
+	got := compare(old, Benchmark{NsPerOp: 900,
+		Metrics: map[string]float64{"first-tuple-ms": 320}}, 0.20)
+	if !strings.Contains(got, "REGRESSED first-tuple-ms") {
+		t.Errorf("regressed first-tuple run = %q, want REGRESSED first-tuple-ms", got)
+	}
+	// Ungated custom metrics stay informational.
+	if got := compare(old, Benchmark{NsPerOp: 1000,
+		Metrics: map[string]float64{"first-tuple-ms": 250, "virtual-s/run": 90}}, 0.20); got != "ok" {
+		t.Errorf("ungated metric growth = %q, want ok", got)
+	}
+	// A gated metric absent from either side doesn't trip the gate.
+	if got := compare(old, Benchmark{NsPerOp: 1000}, 0.20); got != "ok" {
+		t.Errorf("metric dropped = %q, want ok", got)
+	}
+	if got := compare(Benchmark{NsPerOp: 1000}, Benchmark{NsPerOp: 1000,
+		Metrics: map[string]float64{"first-tuple-ms": 1e9}}, 0.20); got != "ok" {
+		t.Errorf("metric added = %q, want ok", got)
+	}
+}
+
+func TestCompareJoinsRegressions(t *testing.T) {
+	old := Benchmark{NsPerOp: 100, AllocsPerOp: 10}
+	got := compare(old, Benchmark{NsPerOp: 200, AllocsPerOp: 20}, 0.20)
+	if !strings.Contains(got, "REGRESSED ns/op") || !strings.Contains(got, "REGRESSED allocs/op") {
+		t.Errorf("double regression = %q, want both markers", got)
+	}
+	if strings.Contains(got, "ok") {
+		t.Errorf("double regression = %q, must not contain ok", got)
 	}
 }
 

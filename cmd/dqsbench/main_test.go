@@ -7,7 +7,7 @@ import (
 
 func TestRunRejectsNonPositiveReps(t *testing.T) {
 	for _, reps := range []int{0, -1, -3} {
-		err := run("table1", reps, 1, 1, true, false, false, true, "", 1)
+		err := run("table1", reps, 1, 1, 1, false, true, false, false, true, "", 1)
 		if err == nil {
 			t.Fatalf("reps=%d accepted; a non-positive repetition count must not silently fall back to one run", reps)
 		}
@@ -18,7 +18,7 @@ func TestRunRejectsNonPositiveReps(t *testing.T) {
 }
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
-	err := run("bogus", 1, 1, 1, true, false, false, false, "", 1)
+	err := run("bogus", 1, 1, 1, 1, false, true, false, false, false, "", 1)
 	if err == nil {
 		t.Fatal("unknown experiment accepted; it must not silently run nothing")
 	}
@@ -29,7 +29,7 @@ func TestRunRejectsUnknownExperiment(t *testing.T) {
 
 func TestRunRejectsNonPositiveParallel(t *testing.T) {
 	for _, parallel := range []int{0, -4} {
-		err := run("table1", 1, parallel, 1, true, false, false, false, "", 1)
+		err := run("table1", 1, parallel, 1, 1, false, true, false, false, false, "", 1)
 		if err == nil {
 			t.Fatalf("parallel=%d accepted", parallel)
 		}
@@ -41,12 +41,31 @@ func TestRunRejectsNonPositiveParallel(t *testing.T) {
 
 func TestRunRejectsNonPositiveWorkers(t *testing.T) {
 	for _, workers := range []int{0, -8} {
-		err := run("table1", 1, 1, workers, true, false, false, false, "", 1)
+		err := run("table1", 1, 1, workers, 1, false, true, false, false, false, "", 1)
 		if err == nil {
 			t.Fatalf("workers=%d accepted; a non-positive intra-run pool must not silently fall back to serial", workers)
 		}
 		if !strings.Contains(err.Error(), "-workers") {
 			t.Errorf("workers=%d: error %q does not name the flag", workers, err)
 		}
+	}
+}
+
+func TestRunRejectsBadPartitions(t *testing.T) {
+	for _, partitions := range []int{0, -16} {
+		err := run("table1", 1, 1, 1, partitions, false, true, false, false, false, "", 1)
+		if err == nil {
+			t.Fatalf("partitions=%d accepted; a non-positive partition count must be rejected, not silently defaulted", partitions)
+		}
+		if !strings.Contains(err.Error(), "-partitions") {
+			t.Errorf("partitions=%d: error %q does not name the flag", partitions, err)
+		}
+	}
+	err := run("table1", 1, 1, 1, 6, false, true, false, false, false, "", 1)
+	if err == nil {
+		t.Fatal("partitions=6 accepted; the radix tables need a power of two")
+	}
+	if !strings.Contains(err.Error(), "-partitions") {
+		t.Errorf("partitions=6: error %q does not name the flag", err)
 	}
 }

@@ -6,7 +6,8 @@
 //
 //	dqsrun [-strategy NAME] [-small] [-slow REL=RETRIEVAL_SECONDS]...
 //	       [-wmin DUR] [-mem MB] [-bmt F] [-trace] [-gantt] [-seed N]
-//	       [-workers N] [-faults SPEC] [-fault-seed N] [-partial]
+//	       [-workers N] [-partitions N] [-governor] [-stream]
+//	       [-faults SPEC] [-fault-seed N] [-partial]
 //	       [-plan-cache] [-list-strategies]
 //
 // Example: watch DSE degrade the blocked chains while wrapper A crawls,
@@ -18,6 +19,12 @@
 // the recovery timeline:
 //
 //	dqsrun -strategy DSE -small -faults 'D:kill@700;D:replica,connect=10ms'
+//
+// Example: stream the answer as it is produced (insert-only, correct so
+// far) under the budget-aware materialization governor, and watch how much
+// earlier the first tuples land:
+//
+//	dqsrun -strategy DSE -small -slow A=2 -mem 1 -governor -stream
 //
 // The -strategy values come from the scheduling-policy registry, so the
 // flag's help text always lists exactly the runnable strategies.
@@ -71,6 +78,9 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "draw a Gantt chart of fragment lifetimes")
 		seed      = flag.Int64("seed", 1, "random seed (data and delays)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "intra-run worker pool of the parallel join kernels; the run summary is identical at any setting")
+		parts     = flag.Int("partitions", dqs.AutoPartitions(runtime.GOMAXPROCS(0)), "radix-partition count of the join hash tables (power of two); the run summary is identical at any setting")
+		governor  = flag.Bool("governor", false, "enable the budget-aware materialization governor (chunked resident temps, largest-release-first memory repair, prefix reuse)")
+		stream    = flag.Bool("stream", false, "stream result tuples as they are produced and print the output ramp")
 		faults    = flag.String("faults", "", "fault scenario, e.g. 'C:burst@100+500x300us;D:kill@5000;D:replica,connect=50ms'")
 		faultSeed = flag.Int64("fault-seed", 1, "random seed of the fault scenario's timing draws")
 		partial   = flag.Bool("partial", false, "allow partial results when a wrapper dies with no replica")
@@ -83,7 +93,7 @@ func main() {
 		listStrategies(os.Stdout)
 		return
 	}
-	if err := run(*strategy, *small, *wmin, *memMB, *bmt, *trace, *gantt, *seed, *workers, *faults, *faultSeed, *partial, *planCache, slow); err != nil {
+	if err := run(*strategy, *small, *wmin, *memMB, *bmt, *trace, *gantt, *seed, *workers, *parts, *governor, *stream, *faults, *faultSeed, *partial, *planCache, slow); err != nil {
 		fmt.Fprintln(os.Stderr, "dqsrun:", err)
 		os.Exit(1)
 	}
@@ -104,9 +114,15 @@ func listStrategies(w io.Writer) {
 	}
 }
 
-func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, trace, gantt bool, seed int64, workers int, faults string, faultSeed int64, partial, planCache bool, slow slowFlags) error {
+func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, trace, gantt bool, seed int64, workers, partitions int, governor, stream bool, faults string, faultSeed int64, partial, planCache bool, slow slowFlags) error {
 	if workers < 1 {
 		return fmt.Errorf("-workers must be at least 1, got %d", workers)
+	}
+	if partitions < 1 {
+		return fmt.Errorf("-partitions must be at least 1, got %d", partitions)
+	}
+	if partitions&(partitions-1) != 0 {
+		return fmt.Errorf("-partitions must be a power of two, got %d", partitions)
 	}
 	var (
 		w   *dqs.Workload
@@ -123,11 +139,24 @@ func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, tr
 	cfg := dqs.DefaultConfig()
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Partitions = partitions
+	cfg.Governor = governor
 	cfg.MemoryBytes = int64(memMB * (1 << 20))
 	cfg.BMT = bmt
 	cfg.InitialWaitEstimate = wmin
 	cfg.FaultSeed = faultSeed
 	cfg.PartialResults = partial
+	var streamed int64
+	if stream {
+		cfg.Stream = dqs.SinkFunc(func(at time.Duration, tup dqs.Tuple) {
+			streamed++
+			// Print the head of the stream and log2-spaced later tuples; a
+			// full result dump would swamp the terminal.
+			if streamed <= 4 || streamed&(streamed-1) == 0 {
+				fmt.Printf("stream: tuple %-8d at %.6fs  %v\n", streamed, at.Seconds(), tup)
+			}
+		})
+	}
 	if planCache {
 		cfg.Plans = dqs.NewDecompositionCache()
 	}
@@ -178,12 +207,19 @@ func run(strategy string, small bool, wmin time.Duration, memMB, bmt float64, tr
 		}
 		fmt.Println()
 	}
+	if stream {
+		fmt.Printf("stream: %d tuples delivered, first at %.3fs\n", streamed, res.FirstTupleTime.Seconds())
+		if err := traceview.TupleTimeline(os.Stdout, res.TupleTimeline, res.ResponseTime, 64); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
 	fmt.Println(res)
 	if len(res.DegradedFragments) > 0 {
 		fmt.Printf("partial result: degraded fragments %v\n", res.DegradedFragments)
 	}
-	fmt.Printf("LWB=%.3fs  total-work=%.3fs  peak-mem=%.1fMB  replans=%d degradations=%d timeouts=%d mem-repairs=%d\n",
-		lwb.Seconds(), res.TotalWork().Seconds(), float64(res.PeakMemBytes)/(1<<20),
+	fmt.Printf("LWB=%.3fs  total-work=%.3fs  first-tuple=%.3fs  peak-mem=%.1fMB  replans=%d degradations=%d timeouts=%d mem-repairs=%d\n",
+		lwb.Seconds(), res.TotalWork().Seconds(), res.FirstTupleTime.Seconds(), float64(res.PeakMemBytes)/(1<<20),
 		res.Replans, res.Degradations, res.Timeouts, res.MemRepairs)
 	if planCache {
 		fmt.Printf("plan-cache: hits=%d misses=%d\n", res.PlanCacheHits, res.PlanCacheMisses)

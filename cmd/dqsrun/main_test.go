@@ -35,26 +35,38 @@ func TestRunSmallestEndToEnd(t *testing.T) {
 	// workload with every strategy.
 	const wmin = 20 * time.Microsecond
 	for _, strat := range []string{"SEQ", "MA", "DSE", "SCR"} {
-		if err := run(strat, true, wmin, 64, 1, false, false, 1, 2, "", 1, false, true, slowFlags{"A": 0.5}); err != nil {
+		if err := run(strat, true, wmin, 64, 1, false, false, 1, 2, 1, false, false, "", 1, false, true, slowFlags{"A": 0.5}); err != nil {
 			t.Errorf("%s: %v", strat, err)
 		}
 	}
-	if err := run("BOGUS", true, wmin, 64, 1, false, false, 1, 1, "", 1, false, false, nil); err == nil {
+	if err := run("BOGUS", true, wmin, 64, 1, false, false, 1, 1, 1, false, false, "", 1, false, false, nil); err == nil {
 		t.Error("unknown strategy accepted")
 	}
-	if err := run("SEQ", true, wmin, 64, 1, false, false, 1, 1, "", 1, false, false, slowFlags{"ZZ": 1}); err == nil {
+	if err := run("SEQ", true, wmin, 64, 1, false, false, 1, 1, 1, false, false, "", 1, false, false, slowFlags{"ZZ": 1}); err == nil {
 		t.Error("unknown slow relation accepted")
 	}
 	// Fault flags: a full scenario (disconnect + death + failover) and the
 	// partial-result path both complete through the command entry point.
-	if err := run("DSE", true, wmin, 64, 1, false, false, 1, 1, "C:drop@500+40ms;D:kill@700;D:replica,connect=10ms", 1, false, false, nil); err != nil {
+	if err := run("DSE", true, wmin, 64, 1, false, false, 1, 1, 1, false, false, "C:drop@500+40ms;D:kill@700;D:replica,connect=10ms", 1, false, false, nil); err != nil {
 		t.Errorf("fault scenario: %v", err)
 	}
-	if err := run("DSE", true, wmin, 64, 1, false, false, 1, 1, "D:kill@700", 1, true, false, nil); err != nil {
+	if err := run("DSE", true, wmin, 64, 1, false, false, 1, 1, 1, false, false, "D:kill@700", 1, true, false, nil); err != nil {
 		t.Errorf("partial-result scenario: %v", err)
 	}
-	if err := run("DSE", true, wmin, 64, 1, false, false, 1, 1, "D:bogus@1", 1, false, false, nil); err == nil {
+	if err := run("DSE", true, wmin, 64, 1, false, false, 1, 1, 1, false, false, "D:bogus@1", 1, false, false, nil); err == nil {
 		t.Error("malformed fault spec accepted")
+	}
+}
+
+func TestRunGovernorAndStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the engine")
+	}
+	const wmin = 20 * time.Microsecond
+	// The governed engine under memory pressure, with streaming delivery on:
+	// the run must complete through the command path end to end.
+	if err := run("DSE", true, wmin, 1, 1, false, false, 1, 2, 8, true, true, "", 1, false, false, slowFlags{"A": 0.5}); err != nil {
+		t.Errorf("governed stream run: %v", err)
 	}
 }
 
@@ -74,12 +86,32 @@ func TestListStrategies(t *testing.T) {
 
 func TestRunRejectsNonPositiveWorkers(t *testing.T) {
 	for _, workers := range []int{0, -2} {
-		err := run("SEQ", true, 20*time.Microsecond, 64, 1, false, false, 1, workers, "", 1, false, false, nil)
+		err := run("SEQ", true, 20*time.Microsecond, 64, 1, false, false, 1, workers, 1, false, false, "", 1, false, false, nil)
 		if err == nil {
 			t.Fatalf("workers=%d accepted; a non-positive intra-run pool must not silently fall back to serial", workers)
 		}
 		if !strings.Contains(err.Error(), "-workers") {
 			t.Errorf("workers=%d: error %q does not name the flag", workers, err)
 		}
+	}
+}
+
+func TestRunRejectsBadPartitions(t *testing.T) {
+	for _, partitions := range []int{0, -4} {
+		err := run("SEQ", true, 20*time.Microsecond, 64, 1, false, false, 1, 1, partitions, false, false, "", 1, false, false, nil)
+		if err == nil {
+			t.Fatalf("partitions=%d accepted; a non-positive partition count must be rejected, not silently defaulted", partitions)
+		}
+		if !strings.Contains(err.Error(), "-partitions") {
+			t.Errorf("partitions=%d: error %q does not name the flag", partitions, err)
+		}
+	}
+	// Positive but not a power of two is rejected with the flag named too.
+	err := run("SEQ", true, 20*time.Microsecond, 64, 1, false, false, 1, 1, 3, false, false, "", 1, false, false, nil)
+	if err == nil {
+		t.Fatal("partitions=3 accepted; the radix tables need a power of two")
+	}
+	if !strings.Contains(err.Error(), "-partitions") {
+		t.Errorf("partitions=3: error %q does not name the flag", err)
 	}
 }

@@ -78,7 +78,17 @@ type (
 	PlanCache = optimizer.PlanCache
 	// PlanCacheStats snapshots a PlanCache's hit/miss/build counters.
 	PlanCacheStats = optimizer.CacheStats
+	// Sink receives result tuples the instant they are produced (insert-
+	// only, correct-so-far streaming delivery). Set Config.Stream to one.
+	Sink = exec.Sink
+	// SinkFunc adapts a function to the Sink interface.
+	SinkFunc = exec.SinkFunc
 )
+
+// AutoPartitions returns the hash-table partition count the engine picks
+// for a worker count when Config.Partitions is 0 — the value a CLI
+// -partitions flag should default to.
+func AutoPartitions(workers int) int { return exec.AutoPartitions(workers) }
 
 // NewDecompositionCache returns an empty decomposition cache for
 // Config.Plans.

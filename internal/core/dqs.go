@@ -71,17 +71,31 @@ func (p *dsePolicy) schedule(st *State) ([]*exec.Fragment, error) {
 		sort.Stable(byPriority{cands, p.descendants})
 
 		// Memory fit: take fragments in priority order while their remaining
-		// build-side growth fits the grant.
+		// build-side growth fits the grant. Governed, a candidate that does
+		// not fit first evicts cold resident pages — builds are the grant's
+		// primary tenants, residency lives off the leftovers — and only
+		// counts as skipped if spilling everything still leaves it short.
+		governed := med.Cfg.Governor
 		avail := med.Mem.Available()
+		var taken int64 // estimated growth of the fragments accepted so far
 		var sp []*exec.Fragment
 		var skippedTop *cand
 		var skippedAdd int64
 		for i := range cands {
 			c := &cands[i]
 			add := p.estAdd(c.cs.rt, c.frag)
+			if add > avail && governed && med.Gov.ResidentBytes() > 0 {
+				if freed := med.Gov.FreeUp(taken + add); freed > 0 {
+					med.Trace.Add(med.Now(), sim.EvMemRepair,
+						"spilled %d resident bytes to schedule %s without a split",
+						freed, c.frag.Label)
+					avail = med.Mem.Available() - taken
+				}
+			}
 			if add <= avail {
 				sp = append(sp, c.frag)
 				avail -= add
+				taken += add
 				continue
 			}
 			if skippedTop == nil {
@@ -90,9 +104,17 @@ func (p *dsePolicy) schedule(st *State) ([]*exec.Fragment, error) {
 			}
 		}
 		if len(sp) == 0 && skippedTop != nil {
-			// Nothing fits: ask the DQO for a memory-repair split of the most
-			// critical candidate, then re-plan.
-			if p.splitForMemory(skippedTop.cs) {
+			// Nothing fits: ask the DQO for a memory-repair split — governed,
+			// the split releasing the most memory across all candidates;
+			// legacy, the lowest sufficient split of the most critical one —
+			// then re-plan.
+			repaired := false
+			if governed {
+				repaired = p.splitForMemoryGoverned(cands)
+			} else {
+				repaired = p.splitForMemory(skippedTop.cs)
+			}
+			if repaired {
 				splits++
 				if splits > p.splitBudget {
 					med.Trace.Add(med.Now(), sim.EvMemRepair,

@@ -131,6 +131,22 @@ type Config struct {
 	// FaultRetries bounds the probes before the engine declares the wrapper
 	// dead and recovers (replica failover, partial results, or an error).
 	FaultRetries int
+	// Governor enables the budget-aware materialization scheduler: a
+	// mem.Governor tracks per-chain build reservations and spill priorities,
+	// materialization fragments write chunked temps whose freshly produced
+	// pages stay memory-resident until evicted (largest temp first, oldest
+	// pages first), memory repair chooses the split releasing the most bytes
+	// across all candidate chains instead of the first overflowing one, and
+	// closed materializations are reused across replans keyed on their step
+	// signature. Off (the default), the engine runs the legacy whole-
+	// fragment/first-overflow path bit-identically to builds without
+	// governor support.
+	Governor bool
+	// Stream, when non-nil, receives every result tuple the instant it is
+	// produced (insert-only, correct-so-far streaming delivery). Streaming
+	// is observation only: timing, costs and results are identical with or
+	// without a sink.
+	Stream Sink
 	// PartialResults lets the engine complete a QEP minus dead subtrees:
 	// fragments of a wrapper declared dead with no replica are abandoned
 	// with whatever they processed, and the Result reports the degraded
@@ -165,18 +181,26 @@ func (c Config) workers() int {
 const maxAutoPartitions = 64
 
 // partitions returns the effective hash-table partition count: the
-// explicit override when set, otherwise 1 for serial runs and a multiple
-// of the worker count (for scatter balance) capped at maxAutoPartitions.
+// explicit override when set, otherwise the automatic choice for the
+// effective worker count.
 func (c Config) partitions() int {
 	if c.Partitions > 0 {
 		return c.Partitions
 	}
-	w := c.workers()
-	if w == 1 {
+	return AutoPartitions(c.workers())
+}
+
+// AutoPartitions returns the hash-table partition count the engine picks
+// when Config.Partitions is 0: one partition for serial runs, otherwise a
+// power of two giving the workers scatter balance, capped at
+// maxAutoPartitions. Exported so CLIs can default their -partitions flag to
+// the same value the engine would choose.
+func AutoPartitions(workers int) int {
+	if workers <= 1 {
 		return 1
 	}
 	p := 1
-	for p < 4*w && p < maxAutoPartitions {
+	for p < 4*workers && p < maxAutoPartitions {
 		p *= 2
 	}
 	return p

@@ -268,7 +268,7 @@ func (net *symNet) arrive(sj *symJoin, fromBuild bool, t relation.Tuple) bool {
 	rt := net.rt
 	if sj == nil {
 		rt.Costs.ChargeResult()
-		rt.emitOutput()
+		rt.emitOutput(t)
 		return true
 	}
 	if !rt.Mem.Reserve(int64(rt.Cfg.Params.TupleSize)) {
@@ -294,7 +294,7 @@ func (net *symNet) arrive(sj *symJoin, fromBuild bool, t relation.Tuple) bool {
 	sj.matchBuf = matches
 	for _, out := range matches {
 		if sj.parent == nil {
-			rt.emitOutput()
+			rt.emitOutput(out)
 			continue
 		}
 		if !net.arrive(sj.parent, sj.fromBuild, out) {

@@ -25,6 +25,11 @@ type Mediator struct {
 	Disk  *sim.Disk
 	Costs operator.Costs
 	Mem   *mem.Manager
+	// Gov is the budget-aware materialization governor over Mem. It is
+	// always constructed (holder accounting is harmless bookkeeping), but
+	// only Cfg.Governor enables its behaviour — chunked resident temps,
+	// spill-on-pressure, governed memory repair and prefix reuse.
+	Gov   *mem.Governor
 	Temps *mem.TempStore
 	CM    *comm.Manager
 	Trace *sim.Trace
@@ -63,6 +68,7 @@ func NewMediator(cfg Config) (*Mediator, error) {
 		Disk:  disk,
 		Costs: operator.NewCosts(clock, cfg.Params),
 		Mem:   memMgr,
+		Gov:   mem.NewGovernor(memMgr),
 		Temps: mem.NewTempStore(cfg.Params, disk, clock),
 		CM:    comm.NewManager(),
 		Trace: cfg.Trace,
@@ -70,6 +76,7 @@ func NewMediator(cfg Config) (*Mediator, error) {
 		pool:  newWorkerPool(cfg.workers()),
 	}
 	m.CM.ChangeFactor = cfg.RateChangeFactor
+	m.Temps.SetGovernor(m.Gov, cfg.Governor)
 	if cfg.Scratch != nil {
 		m.Temps.SetPool(cfg.Scratch)
 	}
@@ -193,7 +200,8 @@ func (m *Mediator) AddQuery(label string, root *plan.Node, ds relation.Dataset, 
 			rows = h
 		}
 		ht.Reserve(j.Build.Schema.Width(), clampReserveRows(rows))
-		rt.tables[j.ID] = &tableState{join: j, ht: ht}
+		holder := m.Gov.Bind(fmt.Sprintf("%s:J%d", label, j.ID))
+		rt.tables[j.ID] = &tableState{join: j, ht: ht, holder: holder}
 	}
 	m.rts = append(m.rts, rt)
 	return rt, nil

@@ -35,6 +35,14 @@ type Result struct {
 	// query's completed hash-table builds — the execution statistics §3.1
 	// says should flow back to the dynamic optimizer.
 	MaxEstError float64
+	// FirstTupleTime is the virtual time the first result tuple was
+	// produced — the latency-to-first-answer metric streaming delivery
+	// optimizes for. Zero when the query produced no output.
+	FirstTupleTime time.Duration
+	// TupleTimeline records the production time of result tuples number 1,
+	// 2, 4, 8, ... (powers of two), sketching how the answer stream ramped
+	// up between first tuple and completion. Empty when no output.
+	TupleTimeline []time.Duration
 	// DegradedFragments lists the fragments abandoned in partial-result
 	// mode because their wrapper died with no replica; empty for complete
 	// executions.
@@ -46,14 +54,23 @@ type Result struct {
 	PlanCacheMisses int
 }
 
-// Equal reports field-by-field equality, treating DegradedFragments as a
-// value (the struct is no longer ==-comparable since it carries the slice).
+// Equal reports field-by-field equality, treating DegradedFragments and
+// TupleTimeline as values (the struct is no longer ==-comparable since it
+// carries slices).
 func (r Result) Equal(o Result) bool {
 	if len(r.DegradedFragments) != len(o.DegradedFragments) {
 		return false
 	}
 	for i := range r.DegradedFragments {
 		if r.DegradedFragments[i] != o.DegradedFragments[i] {
+			return false
+		}
+	}
+	if len(r.TupleTimeline) != len(o.TupleTimeline) {
+		return false
+	}
+	for i := range r.TupleTimeline {
+		if r.TupleTimeline[i] != o.TupleTimeline[i] {
 			return false
 		}
 	}
@@ -70,6 +87,7 @@ func (r Result) Equal(o Result) bool {
 		r.Timeouts == o.Timeouts &&
 		r.MemRepairs == o.MemRepairs &&
 		r.MaxEstError == o.MaxEstError &&
+		r.FirstTupleTime == o.FirstTupleTime &&
 		r.PlanCacheHits == o.PlanCacheHits &&
 		r.PlanCacheMisses == o.PlanCacheMisses
 }
@@ -116,6 +134,8 @@ func (rt *Runtime) FinishAt(strategy string, response time.Duration) Result {
 		Timeouts:           m.timeouts,
 		MemRepairs:         m.memRepairs,
 		MaxEstError:        rt.MaxEstErrorFactor(),
+		FirstTupleTime:     rt.firstOut,
+		TupleTimeline:      rt.timeline(),
 		DegradedFragments:  rt.degraded,
 		PlanCacheHits:      m.planHits,
 		PlanCacheMisses:    m.planMisses,

@@ -51,6 +51,14 @@ type Runtime struct {
 	matTuples  int64
 	degraded   []string
 
+	// firstOut and the milestone ring track the output tuple timeline:
+	// firstOut is when result tuple #1 appeared; milestones[i] is when tuple
+	// number 2^i appeared. A fixed array (2^39 tuples outruns any workload
+	// here) keeps the hot emit path allocation-free.
+	firstOut   time.Duration
+	milestones [40]time.Duration
+	milestoneN int
+
 	// parallelBuilds and parallelBatches count partition-parallel build
 	// runs and parallel probe batches, for tests asserting the parallel
 	// kernels actually engaged. Deliberately NOT part of Result: they vary
@@ -67,6 +75,9 @@ type tableState struct {
 	complete bool
 	reserved int64
 	released bool
+	// holder attributes this table's reservations in the governor's
+	// per-chain ledger (governor mode only; 0 and unused otherwise).
+	holder mem.HolderID
 }
 
 // NewRuntime assembles a fresh mediator running a single query: the plan
@@ -131,6 +142,26 @@ func (rt *Runtime) EstBuildBytes(c *plan.Chain) int64 {
 	return int64(c.Root().EstRows) * int64(rt.Cfg.Params.TupleSize)
 }
 
+// reserveBuild claims n bytes of grant for a table build, attributing them
+// to the table's holder. In governor mode a failed reservation first asks
+// the governor to spill resident materialization pages — evicting an
+// already-durable-on-demand prefix is always cheaper than overflowing a
+// build — and retries once.
+func (rt *Runtime) reserveBuild(ts *tableState, n int64) bool {
+	if !rt.Mem.Reserve(n) {
+		if !rt.Cfg.Governor {
+			return false
+		}
+		rt.Med.Gov.FreeUp(n)
+		if !rt.Mem.Reserve(n) {
+			return false
+		}
+	}
+	ts.reserved += n
+	rt.Med.Gov.Note(ts.holder, n)
+	return true
+}
+
 // buildInsert adds one tuple to join j's table, reserving its memory.
 // It returns false when the memory grant is exhausted.
 func (rt *Runtime) buildInsert(j *plan.Node, t relation.Tuple) bool {
@@ -138,11 +169,9 @@ func (rt *Runtime) buildInsert(j *plan.Node, t relation.Tuple) bool {
 	if ts.complete {
 		panic(fmt.Sprintf("exec: insert into completed table of J%d", j.ID))
 	}
-	n := int64(rt.Cfg.Params.TupleSize)
-	if !rt.Mem.Reserve(n) {
+	if !rt.reserveBuild(ts, int64(rt.Cfg.Params.TupleSize)) {
 		return false
 	}
-	ts.reserved += n
 	ts.ht.Insert(t)
 	ts.rows++
 	return true
@@ -166,8 +195,7 @@ func (rt *Runtime) buildInsertBatch(j *plan.Node, ts []relation.Tuple) int {
 		panic(fmt.Sprintf("exec: insert into completed table of J%d", j.ID))
 	}
 	n := int64(rt.Cfg.Params.TupleSize)
-	if total := n * int64(len(ts)); rt.Mem.Reserve(total) {
-		state.reserved += total
+	if rt.reserveBuild(state, n*int64(len(ts))) {
 		if pool := rt.Med.pool; pool != nil && len(ts) >= parallelMinBatch && state.ht.Parts() > 1 {
 			rt.parallelBuild(state.ht, ts)
 		} else {
@@ -177,10 +205,9 @@ func (rt *Runtime) buildInsertBatch(j *plan.Node, ts []relation.Tuple) int {
 		return len(ts)
 	}
 	for i, t := range ts {
-		if !rt.Mem.Reserve(n) {
+		if !rt.reserveBuild(state, n) {
 			return i
 		}
-		state.reserved += n
 		state.ht.Insert(t)
 		state.rows++
 	}
@@ -238,6 +265,7 @@ func (rt *Runtime) releaseTable(j *plan.Node) {
 		return
 	}
 	rt.Mem.Release(ts.reserved)
+	rt.Med.Gov.Note(ts.holder, -ts.reserved)
 	ts.reserved = 0
 	ts.released = true
 	// The table's storage goes back to the run pool right away: nothing
@@ -281,8 +309,41 @@ func (rt *Runtime) reclaim(s *Scratch) {
 	rt.scatter.Clear()
 }
 
-// emitOutput counts one result tuple leaving the engine.
-func (rt *Runtime) emitOutput() { rt.outputRows++ }
+// emitOutput accounts one result tuple leaving the engine: the output
+// count, the first-tuple time and power-of-two timeline milestones, and
+// streaming delivery to the configured sink, which sees the tuple at the
+// virtual instant it was produced.
+func (rt *Runtime) emitOutput(out relation.Tuple) {
+	rt.outputRows++
+	if n := rt.outputRows; n&(n-1) == 0 { // power of two: milestone tuple
+		now := rt.Clock.Now()
+		if rt.milestoneN < len(rt.milestones) {
+			rt.milestones[rt.milestoneN] = now
+			rt.milestoneN++
+		}
+		if n == 1 {
+			rt.firstOut = now
+			rt.Trace.Add(now, sim.EvFirstTuple, "first result tuple delivered")
+		}
+	}
+	if rt.Cfg.Stream != nil {
+		rt.Cfg.Stream.Emit(rt.Clock.Now(), out)
+	}
+}
+
+// timeline snapshots the milestone record for Result.
+func (rt *Runtime) timeline() []time.Duration {
+	if rt.milestoneN == 0 {
+		return nil
+	}
+	tl := make([]time.Duration, rt.milestoneN)
+	copy(tl, rt.milestones[:rt.milestoneN])
+	return tl
+}
+
+// FirstTupleAt returns when the first result tuple was produced (zero if
+// none yet).
+func (rt *Runtime) FirstTupleAt() time.Duration { return rt.firstOut }
 
 // OutputRows returns the number of result tuples produced so far.
 func (rt *Runtime) OutputRows() int64 { return rt.outputRows }

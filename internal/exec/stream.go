@@ -1,0 +1,26 @@
+package exec
+
+import (
+	"time"
+
+	"dqs/internal/relation"
+)
+
+// Sink receives result tuples as the engine produces them — streaming
+// delivery of the query answer. The protocol is insert-only: every emitted
+// tuple belongs to the final result (the join pipeline never retracts), so
+// at any instant the stream so far is a correct-so-far prefix of the answer.
+//
+// Emit is called with the virtual production time and the tuple, on the
+// simulator's (single) driving goroutine, in production order. The tuple's
+// backing array stays valid only for the duration of the call; a sink that
+// retains tuples must copy them.
+type Sink interface {
+	Emit(at time.Duration, tup relation.Tuple)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(at time.Duration, tup relation.Tuple)
+
+// Emit calls f.
+func (f SinkFunc) Emit(at time.Duration, tup relation.Tuple) { f(at, tup) }

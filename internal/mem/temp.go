@@ -19,6 +19,18 @@ type TempStore struct {
 	nextObj int
 	pool    IntRecycler
 	temps   []*Temp
+
+	// gov, when set, governs chunked materialization: freshly written pages
+	// stay memory-resident under the grant and spill to disk only when the
+	// governor evicts them (or fall straight through to disk when the grant
+	// cannot cover them at all).
+	gov     *Governor
+	chunked bool
+	// prefixes indexes closed materializations by fragment step signature so
+	// a replan that re-creates the same segment can adopt the prefix it
+	// already paid for instead of re-materializing it.
+	prefixes   map[string]*Temp
+	prefixHits int
 }
 
 // IntRecycler supplies and reclaims flat []int64 arenas, so a run pool can
@@ -51,19 +63,75 @@ func NewTempStore(params sim.Params, disk *sim.Disk, clock *sim.Clock) *TempStor
 // far.
 func (s *TempStore) SetPool(p IntRecycler) { s.pool = p }
 
+// SetGovernor attaches a memory governor. With chunked materialization
+// enabled, asynchronous temps keep freshly written pages resident under the
+// governor's grant (spilled on demand, oldest first) instead of writing
+// every page to disk eagerly; synchronous temps — the classic-iterator
+// materialize-all path — are unaffected.
+func (s *TempStore) SetGovernor(g *Governor, chunked bool) {
+	s.gov = g
+	s.chunked = chunked && g != nil
+}
+
+// pageBytes is the grant charge for one resident page. Partial trailing
+// pages are charged as full pages, matching the disk model's page-granular
+// transfers.
+func (s *TempStore) pageBytes() int64 {
+	return int64(s.params.TuplesPerPage()) * int64(s.params.TupleSize)
+}
+
+// RegisterPrefix publishes a closed temp under a fragment step signature so
+// a later replan of the same steps can reuse it. Re-registering a signature
+// keeps the newest temp.
+func (s *TempStore) RegisterPrefix(sig string, t *Temp) {
+	if sig == "" || t == nil || !t.closed {
+		return
+	}
+	if s.prefixes == nil {
+		s.prefixes = make(map[string]*Temp)
+	}
+	s.prefixes[sig] = t
+}
+
+// ReusePrefix looks up an already-materialized prefix by signature. A hit
+// hands back the temp (still registered: several replans may consult it) and
+// counts toward PrefixHits.
+func (s *TempStore) ReusePrefix(sig string) (*Temp, bool) {
+	t, ok := s.prefixes[sig]
+	if ok {
+		s.prefixHits++
+	}
+	return t, ok
+}
+
+// InvalidatePrefixes drops every registered prefix whose signature starts
+// with keyPrefix — called on structural plan changes (splits, degradation
+// swaps), where the old materialization no longer matches the new segment
+// boundaries. An empty keyPrefix clears everything.
+func (s *TempStore) InvalidatePrefixes(keyPrefix string) {
+	for sig := range s.prefixes {
+		if len(sig) >= len(keyPrefix) && sig[:len(keyPrefix)] == keyPrefix {
+			delete(s.prefixes, sig)
+		}
+	}
+}
+
+// PrefixHits returns how many ReusePrefix calls found a reusable temp.
+func (s *TempStore) PrefixHits() int { return s.prefixHits }
+
 // Reclaim hands every created temp's tuple arena back to the pool. The
 // store and its temps must not be used afterwards: callers reclaim only
 // when the whole simulated run is over.
 func (s *TempStore) Reclaim() {
-	if s.pool != nil {
-		for _, t := range s.temps {
-			if t.data != nil {
-				s.pool.PutInts(t.data[:0])
-				t.data = nil
-			}
+	for _, t := range s.temps {
+		t.releaseAllResident()
+		if s.pool != nil && t.data != nil {
+			s.pool.PutInts(t.data[:0])
+			t.data = nil
 		}
 	}
 	s.temps = nil
+	s.prefixes = nil
 }
 
 // Create opens a new temporary relation with the given schema, written with
@@ -73,11 +141,12 @@ func (s *TempStore) Create(name string, schema *relation.Schema) *Temp {
 	obj := s.nextObj
 	s.nextObj++
 	t := &Temp{
-		store:  s,
-		name:   name,
-		object: obj,
-		schema: schema,
-		width:  schema.Width(),
+		store:   s,
+		name:    name,
+		object:  obj,
+		schema:  schema,
+		width:   schema.Width(),
+		chunked: s.chunked,
 	}
 	if s.pool != nil {
 		t.data = s.pool.GetInts()
@@ -157,6 +226,17 @@ type Temp struct {
 	inPage    int             // tuples buffered in the current page
 	closed    bool
 	closedLen int
+
+	// Chunked-materialization state (governor mode only). resident is
+	// aligned with pageDone: true means the page's disk write is deferred —
+	// it is available at its (in-memory) completion time and holds one page
+	// of grant until the governor spills it or its reader fully consumes it.
+	chunked       bool
+	resident      []bool
+	resBytes      int64 // grant bytes currently held by resident pages
+	consumedPages int   // pages fully consumed by the reader (release watermark)
+	resScan       int   // lowest index that can still be resident (spill cursor)
+	inSpillList   bool  // listed in the governor's spill-candidate set
 }
 
 // Name returns the temp relation's name.
@@ -200,13 +280,90 @@ func (t *Temp) Append(tup relation.Tuple) {
 
 func (t *Temp) flushPage() {
 	id := sim.PageID{Object: t.object, Page: len(t.pageDone)}
-	if t.sync {
+	switch {
+	case t.sync:
 		t.store.disk.SyncWrite(id)
 		t.pageDone = append(t.pageDone, t.store.clock.Now())
-	} else {
+	case t.chunked && t.store.gov.reservePage(t, t.store.pageBytes()):
+		// Resident page: the disk write is deferred until the governor
+		// spills it. The page is readable right away — no transfer stands
+		// between producing the tuples and consuming them.
+		t.resBytes += t.store.pageBytes()
+		t.pageDone = append(t.pageDone, t.store.clock.Now())
+		t.resident = append(t.resident, true)
+		t.inPage = 0
+		return
+	default:
 		t.pageDone = append(t.pageDone, t.store.disk.AsyncWrite(id))
 	}
+	if t.chunked {
+		t.resident = append(t.resident, false)
+	}
 	t.inPage = 0
+}
+
+// spillOldestPage evicts the temp's oldest resident page: the deferred disk
+// write is charged now (the page becomes durable at the async transfer's
+// completion) and one page of grant is returned to the governor's ledger by
+// the caller. Returns the bytes released, 0 when nothing is resident.
+func (t *Temp) spillOldestPage() int64 {
+	for k := t.resScan; k < len(t.resident); k++ {
+		if !t.resident[k] {
+			continue
+		}
+		t.resident[k] = false
+		t.resScan = k + 1
+		t.pageDone[k] = t.store.disk.AsyncWrite(sim.PageID{Object: t.object, Page: k})
+		pb := t.store.pageBytes()
+		t.resBytes -= pb
+		return pb
+	}
+	t.resScan = len(t.resident)
+	return 0
+}
+
+// consumedTo releases resident pages the reader has fully consumed: their
+// tuples will never be read again, so neither the deferred disk write nor
+// the grant charge is needed. pos is the reader's next-tuple index.
+func (t *Temp) consumedTo(pos int) {
+	done := pos / t.store.params.TuplesPerPage()
+	for k := t.consumedPages; k < done && k < len(t.resident); k++ {
+		if t.resident[k] {
+			t.resident[k] = false
+			pb := t.store.pageBytes()
+			t.resBytes -= pb
+			t.store.gov.releaseResident(pb)
+		}
+	}
+	if done > t.consumedPages {
+		t.consumedPages = done
+	}
+}
+
+// releaseAllResident returns every resident page's grant without charging
+// disk writes — used when the temp (or the whole store) is discarded.
+func (t *Temp) releaseAllResident() {
+	if t.resBytes == 0 {
+		return
+	}
+	for k := range t.resident {
+		if t.resident[k] {
+			t.resident[k] = false
+			t.store.gov.releaseResident(t.store.pageBytes())
+		}
+	}
+	t.resBytes = 0
+}
+
+// ResidentPages returns how many pages are currently memory-resident.
+func (t *Temp) ResidentPages() int {
+	n := 0
+	for _, r := range t.resident {
+		if r {
+			n++
+		}
+	}
+	return n
 }
 
 // Close flushes the final partial page. Further appends panic.
@@ -224,8 +381,12 @@ func (t *Temp) Close() {
 // Closed reports whether the writer has finished.
 func (t *Temp) Closed() bool { return t.closed }
 
-// Drop releases the temp relation's disk bookkeeping.
-func (t *Temp) Drop() { t.store.disk.Forget(t.object) }
+// Drop releases the temp relation's disk bookkeeping and any resident-page
+// grant.
+func (t *Temp) Drop() {
+	t.releaseAllResident()
+	t.store.disk.Forget(t.object)
+}
 
 // DurableAt returns the time the last written page completed, i.e. when
 // the whole temp relation is readable. Zero for an empty relation.
@@ -292,8 +453,14 @@ func (r *Reader) ensureIssued() {
 	}
 	for r.issued < want {
 		k := r.issued
-		r.readyAt[k] = r.temp.store.disk.AsyncRead(
-			sim.PageID{Object: r.temp.object, Page: k}, r.temp.pageDone[k])
+		if k < len(r.temp.resident) && r.temp.resident[k] {
+			// Resident page: no read I/O — the tuples never left memory, so
+			// they are available the instant the page was produced.
+			r.readyAt[k] = r.temp.pageDone[k]
+		} else {
+			r.readyAt[k] = r.temp.store.disk.AsyncRead(
+				sim.PageID{Object: r.temp.object, Page: k}, r.temp.pageDone[k])
+		}
 		r.issued++
 	}
 }
@@ -360,6 +527,9 @@ func (r *Reader) Pop(now time.Duration) relation.Tuple {
 	}
 	tup := r.temp.row(r.pos)
 	r.pos++
+	if r.temp.resBytes > 0 {
+		r.temp.consumedTo(r.pos)
+	}
 	return tup
 }
 
@@ -397,6 +567,12 @@ func (r *Reader) PopN(now time.Duration, dst []relation.Tuple) int {
 		dst[i] = r.temp.row(r.pos + i)
 	}
 	r.pos += n
+	if r.temp.resBytes > 0 {
+		// Tuples stay valid in the arena (UnpopN can still rewind within the
+		// page), but a fully consumed page's grant and deferred write are no
+		// longer needed.
+		r.temp.consumedTo(r.pos)
+	}
 	return n
 }
 

@@ -26,6 +26,7 @@ const (
 	EvSourceUp                     // a wrapper resumed delivering
 	EvRetry                        // the engine probed a silent wrapper
 	EvFailover                     // a replica took over a dead wrapper
+	EvFirstTuple                   // the first result tuple was delivered
 )
 
 var eventNames = map[EventKind]string{
@@ -44,6 +45,7 @@ var eventNames = map[EventKind]string{
 	EvSourceUp:    "source-up",
 	EvRetry:       "retry",
 	EvFailover:    "failover",
+	EvFirstTuple:  "first-tuple",
 }
 
 // String returns the human-readable name of the event kind.
