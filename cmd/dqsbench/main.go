@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dqsbench [-exp all|table1|fig5|fig6|fig7|fig8|position|resilience|firsttuple|ablations] \
+//	dqsbench [-exp all|table1|fig5|fig6|fig7|fig8|position|resilience|multiquery|serverload|firsttuple|ablations] \
 //	         [-reps N] [-parallel N] [-workers N] [-partitions N] [-governor] \
 //	         [-small] [-csv] [-chart] \
 //	         [-plan-cache] [-faults SPEC] [-fault-seed N] \
@@ -27,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"dqs/internal/exec"
@@ -34,9 +35,23 @@ import (
 	"dqs/internal/fault"
 )
 
+// experimentNames lists every value -exp accepts, in run order; the
+// unknown-experiment error echoes it so callers see what is available.
+var experimentNames = []string{
+	"all", "table1", "fig5", "fig6", "fig7", "fig8", "position", "delays",
+	"resilience", "multiquery", "serverload", "star", "firsttuple",
+	"ablations", "ablation-bmt", "ablation-batch", "ablation-queue",
+	"ablation-message", "ablation-skew", "ablation-memory",
+}
+
+func errUnknownExperiment(exp string) error {
+	return fmt.Errorf("unknown experiment %q (available: %s)",
+		exp, strings.Join(experimentNames, ", "))
+}
+
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, fig8, position, delays, resilience, multiquery, star, firsttuple, ablations, ablation-bmt, ablation-batch, ablation-queue, ablation-message, ablation-skew, ablation-memory")
+		exp        = flag.String("exp", "all", "experiment to run: "+strings.Join(experimentNames, ", "))
 		reps       = flag.Int("reps", 3, "measurement repetitions (paper: 3)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulator runs; figure output is identical at any setting")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "intra-run worker pool of the parallel join kernels; figure output is identical at any setting")
@@ -207,6 +222,11 @@ func run(exp string, reps, parallel, workers, partitions int, governor, small, c
 			return fmt.Errorf("multiquery: %w", err)
 		}
 	}
+	if want("serverload") {
+		if err := show(experiment.ServerLoad(o)); err != nil {
+			return fmt.Errorf("serverload: %w", err)
+		}
+	}
 	if want("star") {
 		if err := show(experiment.StarSweep(o)); err != nil {
 			return fmt.Errorf("star: %w", err)
@@ -248,7 +268,7 @@ func run(exp string, reps, parallel, workers, partitions int, governor, small, c
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q (see -exp in -help for the list)", exp)
+		return errUnknownExperiment(exp)
 	}
 	fmt.Fprintf(out, "done in %v\n", time.Since(start).Round(time.Millisecond))
 	if o.Stats.Cells() > 0 {

@@ -22,8 +22,27 @@ func TestRunRejectsUnknownExperiment(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown experiment accepted; it must not silently run nothing")
 	}
-	if !strings.Contains(err.Error(), "bogus") {
+	if !strings.Contains(err.Error(), `"bogus"`) {
 		t.Errorf("error %q does not name the experiment", err)
+	}
+	// The error must list every valid name, mirroring the scheduler
+	// registry's unknown-strategy error.
+	for _, name := range experimentNames {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list experiment %q", err, name)
+		}
+	}
+}
+
+// Every advertised experiment name must reach the dispatch (no stale
+// entries in experimentNames): with an invalid rep count the run fails on
+// flag validation for valid names, never on the unknown-experiment check.
+func TestExperimentNamesAreCurrent(t *testing.T) {
+	for _, name := range experimentNames {
+		err := run(name, 0, 1, 1, 1, false, true, false, false, false, "", 1)
+		if err == nil || !strings.Contains(err.Error(), "-reps") {
+			t.Errorf("%s: want the -reps validation error, got %v", name, err)
+		}
 	}
 }
 

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func baseOptions() options {
+	return options{
+		n:            3,
+		small:        true,
+		seed:         1,
+		mode:         "isolated",
+		maxActive:    2,
+		discipline:   "fifo",
+		fair:         "global",
+		interarrival: time.Millisecond,
+		wmin:         20 * time.Microsecond,
+		memMB:        64,
+		workers:      1,
+	}
+}
+
+func TestRunIsolated(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, baseOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"q0", "q1", "q2", "served 3 queries (0 cancelled)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFusedSharedStreams(t *testing.T) {
+	o := baseOptions()
+	o.mode = "fused"
+	o.sharedStreams = true
+	o.fair = "roundrobin"
+	o.stream = true
+	var sb strings.Builder
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "shared ") || !strings.Contains(out, "query taps") {
+		t.Errorf("output missing stream-sharing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "first tuple streamed") {
+		t.Errorf("output missing per-query stream latency:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, mutate := range []func(*options){
+		func(o *options) { o.n = 0 },
+		func(o *options) { o.mode = "bogus" },
+		func(o *options) { o.discipline = "bogus" },
+		func(o *options) { o.fair = "bogus" },
+		func(o *options) { o.mode = "isolated"; o.sharedStreams = true },
+	} {
+		o := baseOptions()
+		mutate(&o)
+		var sb strings.Builder
+		if err := run(&sb, o); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+}

@@ -110,6 +110,11 @@ func (q *Queue) Name() string { return q.name }
 // SetProducer attaches the wrapper that fills this queue.
 func (q *Queue) SetProducer(p Producer) { q.producer = p }
 
+// ClearProducer detaches the queue's producer: credits stop resuming it. A
+// multi-query service uses this when cancelling a query — the wrapper is
+// detached so late credits on the dead query's queues pump nothing.
+func (q *Queue) ClearProducer() { q.producer = nil }
+
 // Capacity returns the queue size in tuples.
 func (q *Queue) Capacity() int { return q.capacity }
 

@@ -96,7 +96,7 @@ func (p *dsePolicy) splitForMemoryGoverned(cands []cand) bool {
 // chain that will probe the overflowing table: its head part probes (and
 // then releases) the tables below the blocked join (§4.2).
 func (p *dsePolicy) handleOverflow(f *exec.Fragment) {
-	cs := p.stateOf[f.Chain]
+	cs := p.stateOf[rtChain{f.Runtime(), f.Chain}]
 	rt := cs.rt
 	cs.memSuspended = true
 	cs.suspendAvail = rt.Mem.Available()
@@ -107,7 +107,7 @@ func (p *dsePolicy) handleOverflow(f *exec.Fragment) {
 		return
 	}
 	blocked := f.Chain.BuildsFor
-	prober := p.proberOf[blocked]
+	prober := p.proberOf[rtNode{f.Runtime(), blocked}]
 	if prober == nil {
 		return
 	}

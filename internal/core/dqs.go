@@ -25,12 +25,23 @@ type cand struct {
 type byPriority struct {
 	cands       []cand
 	descendants map[*plan.Chain]int
+	// favored, when non-nil, sorts that query's candidates before every
+	// other query's (cross-query fairness, see dsePolicy.SetFavored); the
+	// order among the favored query's own candidates — and among everyone
+	// else's — is the normal priority order.
+	favored *exec.Runtime
 }
 
 func (s byPriority) Len() int      { return len(s.cands) }
 func (s byPriority) Swap(i, j int) { s.cands[i], s.cands[j] = s.cands[j], s.cands[i] }
 func (s byPriority) Less(i, j int) bool {
 	ci, cj := &s.cands[i], &s.cands[j]
+	if s.favored != nil {
+		fi, fj := ci.cs.rt == s.favored, cj.cs.rt == s.favored
+		if fi != fj {
+			return fi
+		}
+	}
 	if ci.prio != cj.prio {
 		return ci.prio > cj.prio
 	}
@@ -68,7 +79,7 @@ func (p *dsePolicy) schedule(st *State) ([]*exec.Fragment, error) {
 		// Priority order: critical degree descending; ties broken toward
 		// chains that unblock more downstream work, then by name for
 		// determinism.
-		sort.Stable(byPriority{cands, p.descendants})
+		sort.Stable(byPriority{cands: cands, descendants: p.descendants, favored: p.favored})
 
 		// Memory fit: take fragments in priority order while their remaining
 		// build-side growth fits the grant. Governed, a candidate that does

@@ -19,11 +19,17 @@ import (
 type dsePolicy struct {
 	states []*chainState
 
-	stateOf map[*plan.Chain]*chainState
-	// proberOf maps a join node to the chain state that probes it.
-	proberOf map[*plan.Node]*chainState
+	// stateOf and proberOf are keyed per (runtime, chain/node): several
+	// queries submitted from one workload object share chain and plan-node
+	// pointers, so the pointer alone does not identify a chain execution.
+	stateOf map[rtChain]*chainState
+	// proberOf maps a join node to the chain state (of the same query)
+	// that probes it.
+	proberOf map[rtNode]*chainState
 	// descendants is the number of chains transitively blocked by each
-	// chain (tie-breaking toward enabling more downstream work).
+	// chain (tie-breaking toward enabling more downstream work). Chain
+	// pointers shared across queries map to the same count, so the plain
+	// pointer key is safe here.
 	descendants map[*plan.Chain]int
 
 	// byRuntime groups chain states per query, for completion tracking.
@@ -39,6 +45,13 @@ type dsePolicy struct {
 	// count (plus one degenerate top split per chain); exceeding the budget
 	// means the repair loop is not converging.
 	splitBudget int
+
+	// favored, when non-nil, sorts that query's schedulable fragments before
+	// every other query's at the planning points (Engine.Favor) — the hook a
+	// multi-query server's fair scheduler uses. Within-query order and the
+	// candidate set itself are untouched, so plans never empty and the nil
+	// (global) mode is byte-identical to the pre-favoring scheduler.
+	favored *exec.Runtime
 }
 
 // NewDSEPolicy builds the paper's dynamic scheduling policy over the
@@ -46,32 +59,88 @@ type dsePolicy struct {
 // under the name "DSE".
 func NewDSEPolicy(st *State) (Policy, error) {
 	p := &dsePolicy{
-		stateOf:     make(map[*plan.Chain]*chainState),
-		proberOf:    make(map[*plan.Node]*chainState),
+		stateOf:     make(map[rtChain]*chainState),
+		proberOf:    make(map[rtNode]*chainState),
 		descendants: make(map[*plan.Chain]int),
 		byRuntime:   make(map[*exec.Runtime][]*chainState),
 	}
 	p.incremental = !st.Config().FullReplan
 	for _, rt := range st.Runtimes() {
-		for _, c := range rt.Dec.Chains {
-			cs := &chainState{
-				rt:      rt,
-				chain:   c,
-				sortKey: rt.Label + c.Name,
-				segs:    []*segSpec{{fromStep: 0, toStep: len(c.Joins)}},
-			}
-			p.states = append(p.states, cs)
-			p.stateOf[c] = cs
-			p.byRuntime[rt] = append(p.byRuntime[rt], cs)
-			for _, j := range c.Joins {
-				p.proberOf[j] = cs
-			}
-			p.descendants[c] = len(rt.Dec.Descendants(c))
-			p.splitBudget += len(c.Joins) + 2
-		}
+		p.addRuntime(rt)
 	}
 	return p, nil
 }
+
+// addRuntime registers one query's chains with the policy.
+func (p *dsePolicy) addRuntime(rt *exec.Runtime) {
+	for _, c := range rt.Dec.Chains {
+		cs := &chainState{
+			rt:      rt,
+			chain:   c,
+			sortKey: rt.Label + c.Name,
+			segs:    []*segSpec{{fromStep: 0, toStep: len(c.Joins)}},
+		}
+		p.states = append(p.states, cs)
+		p.stateOf[rtChain{rt, c}] = cs
+		p.byRuntime[rt] = append(p.byRuntime[rt], cs)
+		for _, j := range c.Joins {
+			p.proberOf[rtNode{rt, j}] = cs
+		}
+		p.descendants[c] = len(rt.Dec.Descendants(c))
+		p.splitBudget += len(c.Joins) + 2
+	}
+}
+
+// Attach accepts a new query between scheduling rounds (Engine.Attach): its
+// chains enter the global critical-degree competition at the next planning
+// point, exactly as if the query had been attached at construction.
+func (p *dsePolicy) Attach(st *State, rt *exec.Runtime) error {
+	if _, ok := p.byRuntime[rt]; ok {
+		return fmt.Errorf("core: runtime %q already attached", rt.Label)
+	}
+	p.addRuntime(rt)
+	return nil
+}
+
+// Cancel abandons one attached query between scheduling rounds
+// (Engine.CancelQuery): active fragments are abandoned, materialized
+// segment temps dropped, the chains marked complete, and the runtime's
+// remaining execution state — hash-table grant, prefix registrations, late
+// wrapper credits — swept by Runtime.Cancel. Shared infrastructure (other
+// queries' state, the planning caches, the ledger) is untouched; every
+// cached planning verdict is dropped because the freed memory can turn
+// other chains schedulable.
+func (p *dsePolicy) Cancel(st *State, rt *exec.Runtime) error {
+	chains, ok := p.byRuntime[rt]
+	if !ok {
+		return fmt.Errorf("core: runtime %q is not attached", rt.Label)
+	}
+	for _, cs := range chains {
+		if cs.complete {
+			continue
+		}
+		for _, seg := range cs.segs {
+			if seg.frag == nil {
+				continue
+			}
+			seg.frag.Abandon()
+			if seg.frag.Temp != nil {
+				seg.frag.Temp.Drop()
+			}
+		}
+		cs.cur = len(cs.segs)
+		cs.complete = true
+		cs.invalidate()
+	}
+	st.MarkQueryDone(rt)
+	rt.Cancel()
+	p.invalidateAll()
+	return nil
+}
+
+// SetFavored biases the planning order toward one query (Engine.Favor);
+// nil restores the global critical-degree order.
+func (p *dsePolicy) SetFavored(rt *exec.Runtime) { p.favored = rt }
 
 func (p *dsePolicy) Name() string { return "DSE" }
 
@@ -177,7 +246,7 @@ func (p *dsePolicy) advanceFinished(st *State) {
 		// Completing the chain seals the hash table it builds, which can
 		// turn its prober C-schedulable — drop the prober's cached verdict.
 		if advanced && cs.complete && cs.chain.BuildsFor != nil {
-			if prober := p.proberOf[cs.chain.BuildsFor]; prober != nil {
+			if prober := p.proberOf[rtNode{cs.rt, cs.chain.BuildsFor}]; prober != nil {
 				prober.invalidate()
 			}
 		}

@@ -24,6 +24,21 @@ type Engine struct {
 	// flt is the fault-reaction layer, non-nil only under an active fault
 	// plan; the fault-free path takes no new branches.
 	flt *resilience
+
+	// Livelock guard state (see Step): scheduling rounds that advance
+	// neither virtual time nor any progress counter indicate an engine or
+	// policy bug; fail loudly with diagnostics instead of spinning.
+	lastProgress progressMark
+	stuckRounds  int
+}
+
+// progressMark is the livelock guard's comparable progress snapshot. It is a
+// comparable struct, not a formatted string: the guard runs every round, so
+// it must not allocate.
+type progressMark struct {
+	now        time.Duration
+	memUsed    int64
+	diskWrites int64
 }
 
 // NewPolicyEngine prepares an engine driving the given query runtimes on
@@ -72,59 +87,128 @@ func NewMultiEngine(med *exec.Mediator, rts []*exec.Runtime) (*Engine, error) {
 // Run executes the attached queries under the engine's policy and returns
 // the per-query results in attachment order.
 func (e *Engine) Run() ([]exec.Result, error) {
+	for {
+		ok, err := e.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return e.Finalize(), nil
+		}
+	}
+}
+
+// Done reports whether every attached query has produced its full result.
+func (e *Engine) Done() bool { return e.pol.Done(e.st) }
+
+// Step runs one scheduling round — one planning point, one execution phase,
+// one event reaction — and reports whether unfinished work remains. It
+// returns (false, nil) without running a phase when the policy already
+// reports every query complete. A stepped engine is how the multi-query
+// server interleaves several queries' planning points: it calls Step on the
+// engine whose virtual clock is furthest behind, admitting and cancelling
+// queries between rounds.
+func (e *Engine) Step() (bool, error) {
+	if e.pol.Done(e.st) {
+		return false, nil
+	}
 	med := e.med
-	// Livelock guard: scheduling rounds that advance neither virtual time
-	// nor any progress counter indicate an engine or policy bug; fail loudly
-	// with diagnostics instead of spinning. The marker is a comparable
-	// struct, not a formatted string: the guard runs every round, so it must
-	// not allocate.
-	type progressMark struct {
-		now        time.Duration
-		memUsed    int64
-		diskWrites int64
+	progress := progressMark{now: med.Now(), memUsed: med.Mem.Used(), diskWrites: med.Disk.Stats().Writes}
+	if progress == e.lastProgress {
+		e.stuckRounds++
+		if e.stuckRounds > 100000 {
+			return false, fmt.Errorf("core: engine livelock at t=%v; %s", med.Now(), e.pendingSummary())
+		}
+	} else {
+		e.lastProgress = progress
+		e.stuckRounds = 0
 	}
-	var lastProgress progressMark
-	stuckRounds := 0
-	for !e.pol.Done(e.st) {
-		progress := progressMark{now: med.Now(), memUsed: med.Mem.Used(), diskWrites: med.Disk.Stats().Writes}
-		if progress == lastProgress {
-			stuckRounds++
-			if stuckRounds > 100000 {
-				return nil, fmt.Errorf("core: engine livelock at t=%v; %s", med.Now(), e.pendingSummary())
-			}
-		} else {
-			lastProgress = progress
-			stuckRounds = 0
-		}
-		sp, err := e.pol.Plan(e.st)
-		if err != nil {
-			return nil, err
-		}
-		if len(sp.Frags) == 0 {
-			return nil, fmt.Errorf("core: policy %s planned no work with queries unfinished; %s",
-				e.pol.Name(), e.pendingSummary())
-		}
-		e.st.lastPlan = sp
-		if debugSchedule {
-			fmt.Printf("DBG t=%v used=%d SP=[%s]\n", med.Now(), med.Mem.Used(), spLabels(sp.Frags))
-		}
-		ev, err := e.processPhase(sp)
-		if err != nil {
-			return nil, err
-		}
-		if err := e.pol.OnEvent(e.st, ev); err != nil {
-			return nil, err
-		}
+	sp, err := e.pol.Plan(e.st)
+	if err != nil {
+		return false, err
 	}
+	if len(sp.Frags) == 0 {
+		return false, fmt.Errorf("core: policy %s planned no work with queries unfinished; %s",
+			e.pol.Name(), e.pendingSummary())
+	}
+	e.st.lastPlan = sp
+	if debugSchedule {
+		fmt.Printf("DBG t=%v used=%d SP=[%s]\n", med.Now(), med.Mem.Used(), spLabels(sp.Frags))
+	}
+	ev, err := e.processPhase(sp)
+	if err != nil {
+		return false, err
+	}
+	if err := e.pol.OnEvent(e.st, ev); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Finalize builds the per-query results in attachment order. Call it once,
+// after Step has reported no work remaining (Run does both).
+func (e *Engine) Finalize() []exec.Result {
 	results := make([]exec.Result, 0, len(e.st.rts))
 	for _, rt := range e.st.rts {
 		at, ok := e.st.completedAt[rt]
 		if !ok {
-			at = med.Now()
+			at = e.med.Now()
 		}
 		results = append(results, rt.FinishAt(e.pol.Name(), at))
 	}
-	return results, nil
+	return results
+}
+
+// Attach adds a query runtime to a (possibly running) engine between
+// scheduling rounds: the policy starts planning the new query's chains at
+// the next Step. The runtime must have been added to the engine's mediator
+// (Mediator.AddQuery) at the current virtual time, so its wrappers start
+// producing now rather than at the mediator's epoch. Only policies
+// implementing Attacher — the DSE policy does — support mid-run attachment.
+func (e *Engine) Attach(rt *exec.Runtime) error {
+	if rt.Med != e.med {
+		return fmt.Errorf("core: runtime %q is not attached to the engine's mediator", rt.Label)
+	}
+	a, ok := e.pol.(Attacher)
+	if !ok {
+		return fmt.Errorf("core: policy %s does not support mid-run query attachment", e.pol.Name())
+	}
+	if err := a.Attach(e.st, rt); err != nil {
+		return err
+	}
+	e.st.rts = append(e.st.rts, rt)
+	return nil
+}
+
+// CancelQuery abandons one attached query between scheduling rounds: its
+// active fragments are abandoned, its materialized state is dropped, its
+// memory is returned to the shared grant and its wrappers stop feeding the
+// communication manager. The cancelled query still yields a Result from
+// Finalize (marked complete at cancellation time, with whatever tuples it
+// produced). Only policies implementing Canceller support cancellation.
+func (e *Engine) CancelQuery(rt *exec.Runtime) error {
+	c, ok := e.pol.(Canceller)
+	if !ok {
+		return fmt.Errorf("core: policy %s does not support query cancellation", e.pol.Name())
+	}
+	return c.Cancel(e.st, rt)
+}
+
+// Favor biases the next planning points toward one query: the policy orders
+// that query's schedulable fragments before every other query's, keeping
+// the within-query order unchanged. A nil runtime restores the global
+// critical-degree order. Policies not implementing FavorSetter ignore it.
+func (e *Engine) Favor(rt *exec.Runtime) {
+	if f, ok := e.pol.(FavorSetter); ok {
+		f.SetFavored(rt)
+	}
+}
+
+// QueryCompletedAt returns when rt's query produced its final tuple, if it
+// has.
+func (e *Engine) QueryCompletedAt(rt *exec.Runtime) (time.Duration, bool) {
+	at, ok := e.st.completedAt[rt]
+	return at, ok
 }
 
 // pendingSummary describes the stuck engine for diagnostics: the active

@@ -143,6 +143,31 @@ type PendingDescriber interface {
 	PendingSummary() string
 }
 
+// Attacher is an optional policy capability: accepting a new query runtime
+// between scheduling rounds (Engine.Attach). The policy must start planning
+// the runtime's chains from its next Plan call. The state still lists only
+// the previously attached runtimes when Attach is called; the engine
+// appends rt after the policy accepts it.
+type Attacher interface {
+	Attach(st *State, rt *exec.Runtime) error
+}
+
+// Canceller is an optional policy capability: abandoning one attached query
+// between scheduling rounds (Engine.CancelQuery). The policy must release
+// the query's execution state — fragments, materializations, memory — and
+// mark it complete so Done and Plan stop considering it.
+type Canceller interface {
+	Cancel(st *State, rt *exec.Runtime) error
+}
+
+// FavorSetter is an optional policy capability: biasing planning toward one
+// query's fragments (Engine.Favor) so a multi-query service can impose
+// cross-query fairness on top of the policy's own priority order. nil
+// restores the policy's global order.
+type FavorSetter interface {
+	SetFavored(rt *exec.Runtime)
+}
+
 // State is the execution state the engine shares with its policy: the
 // mediator, the attached query runtimes, the current plan and per-query
 // completion bookkeeping. Policies use it for clock access, stalls, cost

@@ -118,6 +118,21 @@ func errUnknownStrategy(name string) error {
 		name, strings.Join(StrategyNames(), ", "))
 }
 
+// NewStrategyEngine builds an engine driving the given runtimes under the
+// named registered strategy. Runner-only strategies (DPHJ) bypass the
+// unified executor and cannot be stepped, attached to or cancelled; they
+// are rejected here — the multi-query server needs engine-level control.
+func NewStrategyEngine(med *exec.Mediator, rts []*exec.Runtime, name string) (*Engine, error) {
+	i, ok := strategyIndex[name]
+	if !ok {
+		return nil, errUnknownStrategy(name)
+	}
+	if strategies[i].factory == nil {
+		return nil, fmt.Errorf("core: strategy %s is not a scheduling policy", name)
+	}
+	return NewPolicyEngine(med, rts, strategies[i].factory)
+}
+
 // RunStrategy executes the attached queries under the named registered
 // strategy and returns per-query results in attachment order. This is the
 // single dispatch point every entry point routes through.

@@ -14,6 +14,21 @@ import (
 	"dqs/internal/plan"
 )
 
+// rtChain and rtNode scope a chain or plan node to the query runtime
+// executing it: queries submitted from the same workload object share plan
+// pointers, so policy state keyed on the pointer alone would alias across
+// queries (the last registration would win and earlier queries' planning
+// caches would miss their invalidations).
+type rtChain struct {
+	rt *exec.Runtime
+	c  *plan.Chain
+}
+
+type rtNode struct {
+	rt *exec.Runtime
+	n  *plan.Node
+}
+
 // segSpec is one segment of a (possibly split) pipeline chain: chain steps
 // [fromStep, toStep), reading either the wrapper queue (first segment) or
 // the previous segment's temp. Fragments are created lazily, when the

@@ -147,6 +147,15 @@ type Config struct {
 	// is observation only: timing, costs and results are identical with or
 	// without a sink.
 	Stream Sink
+	// SharedStreams lets queries attached to one mediator share physical
+	// wrapper streams: when several queries scan the same table object with
+	// identical delivery behaviour, the wrapper executes the sub-query once
+	// on one production schedule and every query taps the stream through
+	// its own credit window (late queries replay the delivered prefix from
+	// the mediator's retention buffer). Sources carrying fault scripts stay
+	// private. Off (the default), every query gets its own simulated
+	// wrapper — the single-query-identical path.
+	SharedStreams bool
 	// PartialResults lets the engine complete a QEP minus dead subtrees:
 	// fragments of a wrapper declared dead with no replica are abandoned
 	// with whatever they processed, and the Result reports the degraded

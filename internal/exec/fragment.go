@@ -328,6 +328,12 @@ func (rt *Runtime) prefixSig(c *plan.Chain, fromStep, toStep int, prev *mem.Temp
 // Done reports whether the fragment has fully terminated.
 func (f *Fragment) Done() bool { return f.done }
 
+// Runtime returns the query runtime the fragment belongs to. Policies
+// driving several queries need it to scope per-chain state: queries
+// submitted from one workload object share plan-node pointers, so a chain
+// pointer alone does not identify a chain execution.
+func (f *Fragment) Runtime() *Runtime { return f.rt }
+
 // PendingOutputs returns the number of terminal-ready tuples stranded by a
 // memory overflow and awaiting retry; a drop between scheduler
 // observations means the fragment made progress without consuming input.

@@ -39,6 +39,10 @@ type Mediator struct {
 	rts       []*Runtime
 	reclaimed bool
 	flt       *faultState
+	// streams is the shared-wrapper registry (Cfg.SharedStreams): one
+	// physical stream per (table object, delivery behaviour), tapped by
+	// every query scanning it. Lazily allocated on first share.
+	streams map[streamKey]*source.Shared
 	// pool is the intra-run worker pool of the parallel join kernels; nil
 	// on a serial configuration (Workers <= 1).
 	pool *workerPool
@@ -167,6 +171,18 @@ func (m *Mediator) AddQuery(label string, root *plan.Node, ds relation.Dataset, 
 		if d.InitialDelay > 0 {
 			opts = append(opts, source.WithInitialDelay(d.InitialDelay))
 		}
+		if now := m.Clock.Now(); now > 0 {
+			// Mid-run admission: this query's sub-queries go out now, so its
+			// wrappers start producing now, not at the mediator's epoch.
+			opts = append(opts, source.WithStartTime(now))
+		}
+		if m.Cfg.SharedStreams && m.shareable(name) {
+			sh, err := m.sharedStream(name, table, d)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, source.WithSharedStream(sh))
+		}
 		if m.Cfg.columnarDataflow() {
 			// Columnar dataflow: the queue ring carries only the plan's live
 			// columns, and the scan predicate moves into the wrapper. Window
@@ -200,11 +216,77 @@ func (m *Mediator) AddQuery(label string, root *plan.Node, ds relation.Dataset, 
 			rows = h
 		}
 		ht.Reserve(j.Build.Schema.Width(), clampReserveRows(rows))
-		holder := m.Gov.Bind(fmt.Sprintf("%s:J%d", label, j.ID))
+		holder := m.Gov.BindOwned(label, fmt.Sprintf("%s:J%d", label, j.ID))
 		rt.tables[j.ID] = &tableState{join: j, ht: ht, holder: holder}
 	}
 	m.rts = append(m.rts, rt)
 	return rt, nil
+}
+
+// streamKey identifies one shared physical wrapper stream: the same table
+// object delivered with the same behaviour. Distinct table objects (even of
+// equally named relations) carry distinct data and never share.
+type streamKey struct {
+	tbl *relation.Table
+	fp  string
+}
+
+// shareable reports whether rel's wrapper may ride a shared stream: fault
+// clauses and replicas bind faults to one private wrapper's row cursor, so
+// faulted sources always stay private.
+func (m *Mediator) shareable(rel string) bool {
+	plan := m.Cfg.Faults
+	if !plan.Active() {
+		return true
+	}
+	if len(plan.ClausesFor(rel)) > 0 {
+		return false
+	}
+	_, hasRep := plan.ReplicaFor(rel)
+	return !hasRep
+}
+
+// sharedStream returns the shared physical stream for (table, delivery),
+// creating it on first use. The stream's production schedule draws from a
+// dedicated RNG namespace so it is deterministic in creation order and
+// independent of the per-query delay streams.
+func (m *Mediator) sharedStream(rel string, table *relation.Table, d Delivery) (*source.Shared, error) {
+	key := streamKey{tbl: table, fp: fmt.Sprintf("%v|%v|%v", d.MeanWait, d.Phases, d.InitialDelay)}
+	if sh, ok := m.streams[key]; ok {
+		return sh, nil
+	}
+	if m.streams == nil {
+		m.streams = make(map[streamKey]*source.Shared)
+	}
+	opts := []source.Option{source.WithMeanWait(d.MeanWait)}
+	if len(d.Phases) > 0 {
+		opts = []source.Option{source.WithPhases(d.Phases...)}
+	}
+	if d.InitialDelay > 0 {
+		opts = append(opts, source.WithInitialDelay(d.InitialDelay))
+	}
+	rng := m.rng.Fork(streamSeedBase + int64(len(m.streams)))
+	sh, err := source.NewShared(rel, table, rng, opts...)
+	if err != nil {
+		return nil, err
+	}
+	m.streams[key] = sh
+	return sh, nil
+}
+
+// streamSeedBase offsets the shared-stream RNG forks far away from the
+// per-query forks (small positive integers), so stream schedules never
+// collide with query delay streams.
+const streamSeedBase = int64(1) << 32
+
+// SharedStreamCount returns how many physical shared streams the mediator
+// created, and the total taps they served.
+func (m *Mediator) SharedStreamCount() (streams, taps int) {
+	for _, sh := range m.streams {
+		streams++
+		taps += sh.Taps()
+	}
+	return streams, taps
 }
 
 // CountReplan, CountDegrade, CountTimeout and CountMemRepair accumulate

@@ -276,6 +276,40 @@ func (rt *Runtime) releaseTable(j *plan.Node) {
 	ts.ht = nil
 }
 
+// SetSink routes this runtime's result stream to sink (nil disconnects).
+// Per-query sinks of a multi-query service are wired right after AddQuery,
+// before the first tuple can be produced; streaming is observation-only, so
+// results are identical with or without one.
+func (rt *Runtime) SetSink(sink Sink) { rt.Cfg.Stream = sink }
+
+// Cancel abandons the query mid-run, releasing everything it holds on the
+// shared mediator: every unreleased hash-table reservation goes back to the
+// memory grant (with its governor holding zeroed), registered materialized
+// prefixes are dropped, and the query's wrappers are detached so late
+// credits on its queues pump nothing (shared-stream taps release their
+// refcount). The scheduler must have abandoned the query's active fragments
+// first — Cancel only sweeps runtime-held state. Idempotent.
+func (rt *Runtime) Cancel() {
+	ids := make([]int, 0, len(rt.tables))
+	for id := range rt.tables {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		rt.releaseTable(rt.tables[id].join)
+	}
+	rt.Temps.InvalidatePrefixes(rt.Label + "/")
+	names := make([]string, 0, len(rt.sources))
+	for name := range rt.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rt.sources[name].Detach()
+		rt.qsrcs[name].q.ClearProducer()
+	}
+}
+
 // reclaim hands the runtime's pooled structures back to s: surviving hash
 // tables and every fragment's scratch buffers.
 func (rt *Runtime) reclaim(s *Scratch) {

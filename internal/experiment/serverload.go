@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/core"
+	"dqs/internal/exec"
+	"dqs/internal/server"
+)
+
+// ServerLoad sweeps the multi-query mediator service across arrival rates
+// and memory grants: a fused dqs server (one shared mediator, shared plan
+// caches, shared wrapper streams) admits a fixed batch of identical
+// queries arriving at a swept interarrival gap under a bounded admission
+// cap, and reports — per grant size — the mean completion latency (from
+// arrival to last tuple), the mean first-tuple latency and the mean
+// admission wait. The x axis is the offered load: single-query response
+// times per interarrival gap, so 1.0 means queries arrive exactly as fast
+// as an unloaded server finishes them and higher values mean the admission
+// queue must absorb the difference.
+func ServerLoad(o Options) (*Figure, error) {
+	const (
+		queries   = 6
+		maxActive = 3
+	)
+	// Offered load levels: interarrival = R / load, with R the measured
+	// single-query response time.
+	loads := []float64{0.5, 1, 2, 4}
+	// Grant series: 4x the single-query grant (the multiquery experiment's
+	// comfortable setting) against the unscaled 1x grant, where the active
+	// queries contend for one shared budget and arbitration matters.
+	base := o.config()
+	grants := []struct {
+		label string
+		bytes int64
+	}{
+		{"grant=4x", base.MemoryBytes * 4},
+		{"grant=1x", base.MemoryBytes},
+	}
+	order := make([]string, 0, 3*len(grants))
+	for _, g := range grants {
+		order = append(order,
+			"latency(s) "+g.label,
+			"first-tuple(s) "+g.label,
+			"adm-wait(s) "+g.label)
+	}
+	fig := NewFigure("ServerLoad", "mediator service under arrival load (fused, shared streams)",
+		"offered-load", "seconds", order...)
+
+	seeds := o.seeds()
+	wait := 50 * time.Microsecond
+	type unit struct{ latency, firstTuple, admWait float64 }
+	units := make([]unit, len(loads)*len(grants)*len(seeds))
+	err := o.forEach(len(units), func(j int) error {
+		li := j / (len(grants) * len(seeds))
+		gi := j / len(seeds) % len(grants)
+		seed := seeds[j%len(seeds)]
+		start := time.Now()
+		w, err := o.loadWorkload(seed)
+		if err != nil {
+			return err
+		}
+		ucfg := withSeed(base, seed)
+
+		// Reference: one unloaded serial run sets the interarrival scale.
+		rt, err := exec.NewRuntime(ucfg, w.Root, w.Dataset, uniformDeliveries(w, wait))
+		if err != nil {
+			return err
+		}
+		ref, err := core.RunDSE(rt)
+		if err != nil {
+			return err
+		}
+		interarrival := time.Duration(float64(ref.ResponseTime) / loads[li])
+
+		ucfg.MemoryBytes = grants[gi].bytes
+		ucfg.SharedStreams = true
+		// The governor arbitrates the shared grant across the admitted
+		// queries (owner-attributed holdings, globally ranked spills), so
+		// the grant axis measures cross-query memory pressure, not just
+		// repair-split feasibility.
+		ucfg.Governor = true
+		srv, err := server.New(server.Config{
+			Exec:      ucfg,
+			Mode:      server.Fused,
+			MaxActive: maxActive,
+		})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < queries; i++ {
+			if err := srv.Submit(server.Query{
+				Label:      fmt.Sprintf("q%d", i),
+				Workload:   w,
+				Deliveries: uniformDeliveries(w, wait),
+				ArriveAt:   time.Duration(i) * interarrival,
+			}); err != nil {
+				return err
+			}
+		}
+		reports, _, err := srv.Run()
+		if err != nil {
+			return fmt.Errorf("load=%.2g %s: %w", loads[li], grants[gi].label, err)
+		}
+		var u unit
+		for _, rep := range reports {
+			u.latency += (rep.CompletedAt - rep.ArrivedAt).Seconds()
+			u.firstTuple += (rep.Result.FirstTupleTime - rep.ArrivedAt).Seconds()
+			u.admWait += rep.AdmissionWait.Seconds()
+		}
+		u.latency /= queries
+		u.firstTuple /= queries
+		u.admWait /= queries
+		units[j] = u
+		o.Stats.observe(CellResult{Result: reports[len(reports)-1].Result, Wall: time.Since(start)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, load := range loads {
+		values := make([]float64, 0, 3*len(grants))
+		for gi := range grants {
+			var u unit
+			for si := range seeds {
+				v := units[(li*len(grants)+gi)*len(seeds)+si]
+				u.latency += v.latency
+				u.firstTuple += v.firstTuple
+				u.admWait += v.admWait
+			}
+			reps := float64(len(seeds))
+			values = append(values, u.latency/reps, u.firstTuple/reps, u.admWait/reps)
+		}
+		fig.AddPoint(load, values...)
+	}
+	return fig, nil
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import "testing"
+
+func TestServerLoadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	fig, err := ServerLoad(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.X) != 4 {
+		t.Fatalf("got %d load levels, want 4", len(fig.X))
+	}
+	lat := fig.Get("latency(s) grant=4x")
+	ft := fig.Get("first-tuple(s) grant=4x")
+	wait := fig.Get("adm-wait(s) grant=4x")
+	for i := range fig.X {
+		if lat[i] <= 0 || ft[i] <= 0 {
+			t.Errorf("load=%v: non-positive latency %v / first-tuple %v", fig.X[i], lat[i], ft[i])
+		}
+		if ft[i] > lat[i] {
+			t.Errorf("load=%v: first-tuple %v after completion %v", fig.X[i], ft[i], lat[i])
+		}
+		if wait[i] < 0 {
+			t.Errorf("load=%v: negative admission wait %v", fig.X[i], wait[i])
+		}
+	}
+	// Saturation: at the highest offered load the admission queue must be
+	// non-empty at some point, so mean wait exceeds the unloaded level.
+	if wait[len(wait)-1] <= wait[0] {
+		t.Errorf("admission wait did not grow with load: %v", wait)
+	}
+}
+
+func TestServerLoadDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	run := func(parallel int) string {
+		o := smallOptions()
+		o.Parallel = parallel
+		fig, err := ServerLoad(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.CSV()
+	}
+	seq := run(1)
+	if par := run(8); seq != par {
+		t.Errorf("ServerLoad differs across worker counts:\n-- workers=1 --\n%s\n-- workers=8 --\n%s", seq, par)
+	}
+}

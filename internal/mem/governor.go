@@ -12,8 +12,11 @@ import (
 type HolderID int
 
 // Holding is one holder's current reservation, as reported by Holdings.
+// Owner groups holders belonging to one query of a multi-query service
+// (empty for single-query holders registered with Bind).
 type Holding struct {
 	Name  string
+	Owner string
 	Bytes int64
 }
 
@@ -51,8 +54,39 @@ func (g *Governor) Manager() *Manager { return g.mgr }
 
 // Bind registers a named reservation holder and returns its ID.
 func (g *Governor) Bind(name string) HolderID {
-	g.holders = append(g.holders, Holding{Name: name})
+	return g.BindOwned("", name)
+}
+
+// BindOwned registers a named reservation holder attributed to an owning
+// query. Owner attribution lets a multi-query service read each query's
+// share of the global ledger (OwnerHeld, HoldingsByOwner) while spill and
+// split decisions keep ranking holders globally.
+func (g *Governor) BindOwned(owner, name string) HolderID {
+	g.holders = append(g.holders, Holding{Name: name, Owner: owner})
 	return HolderID(len(g.holders) - 1)
+}
+
+// OwnerHeld returns the sum of the holdings attributed to one owner.
+func (g *Governor) OwnerHeld(owner string) int64 {
+	var total int64
+	for _, h := range g.holders {
+		if h.Owner == owner {
+			total += h.Bytes
+		}
+	}
+	return total
+}
+
+// HoldingsByOwner returns every owner's total held bytes. Owners whose
+// holdings are all zero are included while registered — the per-query view
+// must account for every query the ledger knows, held or not. By
+// construction the values sum to HeldTotal.
+func (g *Governor) HoldingsByOwner() map[string]int64 {
+	out := make(map[string]int64)
+	for _, h := range g.holders {
+		out[h.Owner] += h.Bytes
+	}
+	return out
 }
 
 // Note accounts delta bytes (positive or negative) to a holder. The caller

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"dqs/internal/core"
+	"dqs/internal/exec"
+)
+
+// fusedQuery is one admitted query of a fused-mode run, attached to the
+// shared mediator.
+type fusedQuery struct {
+	idx        int // index into s.queries
+	rt         *exec.Runtime
+	admittedAt time.Duration // shared-clock instant of admission
+	done       bool
+}
+
+// runFused executes the batch on one shared mediator: one clock, one
+// memory grant (per-query holder attribution, globally arbitrated spills),
+// shared plan caches, optionally shared physical wrapper streams. Queries
+// are admitted at planning points of the single engine — the first
+// admission batch constructs it, later arrivals attach mid-run — and all
+// admitted queries' fragments compete in one scheduling plan, biased by
+// the configured fairness. With every query arriving at time zero, no
+// binding cap and global fairness this is byte-identical to
+// dqs.RunConcurrent (core.RunMultiDSE), the correctness oracle.
+func (s *Server) runFused() ([]Report, Stats, error) {
+	med, err := exec.NewMediator(s.cfg.Exec)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	pending := s.arrivalOrder()
+	reports := make([]Report, len(s.queries))
+	stats := Stats{Queries: len(s.queries)}
+	var admitted []*fusedQuery
+	var eng *core.Engine
+	activeCount := 0
+	rrCursor := 0
+
+	admitOne := func() error {
+		pos, at := s.pickAdmission(pending, med.Now())
+		qi := pending[pos]
+		pending = removeAt(pending, pos)
+		q := &s.queries[qi]
+		rt, err := med.AddQuery(q.Label, q.Workload.Root, q.Workload.Dataset, q.Deliveries)
+		if err != nil {
+			return fmt.Errorf("server: query %q: %w", q.Label, err)
+		}
+		if q.Sink != nil {
+			rt.SetSink(q.Sink)
+		}
+		if eng != nil {
+			if err := eng.Attach(rt); err != nil {
+				return fmt.Errorf("server: query %q: %w", q.Label, err)
+			}
+		}
+		reports[qi] = Report{
+			Label:         q.Label,
+			ArrivedAt:     q.ArriveAt,
+			AdmittedAt:    at,
+			AdmissionWait: at - q.ArriveAt,
+		}
+		stats.TotalAdmissionWait += at - q.ArriveAt
+		admitted = append(admitted, &fusedQuery{idx: qi, rt: rt, admittedAt: at})
+		activeCount++
+		if activeCount > stats.PeakActive {
+			stats.PeakActive = activeCount
+		}
+		return nil
+	}
+
+	for {
+		// Admit every arrived waiter the cap allows; the engine picks the
+		// new chains up at its next planning point.
+		for len(pending) > 0 && activeCount < s.cfg.cap() &&
+			s.queries[pending[0]].ArriveAt <= med.Now() {
+			if err := admitOne(); err != nil {
+				return nil, stats, err
+			}
+		}
+		if queued := s.countArrived(pending, med.Now()); queued > stats.PeakQueued {
+			stats.PeakQueued = queued
+		}
+		if activeCount == 0 {
+			if len(pending) == 0 {
+				break
+			}
+			// Idle server: advance the shared clock to the next arrival.
+			med.Clock.Stall(s.queries[pending[0]].ArriveAt)
+			continue
+		}
+		if eng == nil {
+			rts := make([]*exec.Runtime, len(admitted))
+			for i, a := range admitted {
+				rts[i] = a.rt
+			}
+			eng, err = core.NewStrategyEngine(med, rts, s.cfg.strategy())
+			if err != nil {
+				return nil, stats, err
+			}
+		}
+		eng.Favor(s.favoredRuntime(admitted, &rrCursor))
+		for _, a := range admitted {
+			q := &s.queries[a.idx]
+			if a.done || q.Timeout <= 0 || reports[a.idx].Cancelled {
+				continue
+			}
+			if med.Now()-a.admittedAt >= q.Timeout {
+				if err := eng.CancelQuery(a.rt); err != nil {
+					return nil, stats, fmt.Errorf("server: query %q: %w", q.Label, err)
+				}
+				reports[a.idx].Cancelled = true
+				stats.Cancelled++
+			}
+		}
+		ok, err := eng.Step()
+		if err != nil {
+			return nil, stats, err
+		}
+		if s.probe != nil {
+			s.probe(med)
+		}
+		for _, a := range admitted {
+			if a.done {
+				continue
+			}
+			if at, fin := eng.QueryCompletedAt(a.rt); fin {
+				a.done = true
+				activeCount--
+				reports[a.idx].CompletedAt = at
+				if at > stats.Makespan {
+					stats.Makespan = at
+				}
+			}
+		}
+		if !ok && activeCount > 0 {
+			return nil, stats, fmt.Errorf("server: engine finished with %d queries unaccounted", activeCount)
+		}
+	}
+	if eng == nil {
+		return nil, stats, fmt.Errorf("server: no queries admitted")
+	}
+	for i, res := range eng.Finalize() {
+		reports[admitted[i].idx].Result = res
+	}
+	stats.SharedStreams, stats.StreamTaps = med.SharedStreamCount()
+	return reports, stats, nil
+}
+
+// favoredRuntime computes the query the next planning point should favor
+// under the configured fairness (nil for the pure critical-degree order).
+func (s *Server) favoredRuntime(admitted []*fusedQuery, rrCursor *int) *exec.Runtime {
+	if s.cfg.Fairness == FairGlobal {
+		return nil
+	}
+	unfinished := make([]*fusedQuery, 0, len(admitted))
+	for _, a := range admitted {
+		if !a.done {
+			unfinished = append(unfinished, a)
+		}
+	}
+	if len(unfinished) == 0 {
+		return nil
+	}
+	switch s.cfg.Fairness {
+	case FairRoundRobin:
+		a := unfinished[*rrCursor%len(unfinished)]
+		*rrCursor++
+		return a.rt
+	case FairWeightedByWait:
+		// The query that has waited longest since arrival (earliest
+		// ArriveAt; admission order breaks ties).
+		best := unfinished[0]
+		for _, a := range unfinished[1:] {
+			if s.queries[a.idx].ArriveAt < s.queries[best.idx].ArriveAt {
+				best = a
+			}
+		}
+		return best.rt
+	}
+	return nil
+}

@@ -62,6 +62,13 @@ type Source struct {
 	standby  bool
 	firstRow int
 
+	// shared, when non-nil, replaces this source's own production simulation
+	// with the precomputed physical schedule of a Shared stream: the wrapper
+	// executed the sub-query once, and this source is one query's tap on the
+	// multicast (see Shared). detached marks a tap that has left the stream.
+	shared   *Shared
+	detached bool
+
 	next      int           // next row to produce
 	producing bool          // a tuple is produced (or in production) but not yet sent
 	readyAt   time.Duration // completion time of the in-flight production
@@ -150,6 +157,21 @@ func AsStandby() Option {
 	return func(s *Source) { s.standby = true }
 }
 
+// WithStartTime starts production at virtual time t instead of zero: the
+// mediator sent this sub-query out mid-run (a query admitted to an already
+// running multi-query service). The first tuple's delay is drawn from t.
+func WithStartTime(t time.Duration) Option {
+	return func(s *Source) { s.startAt = t }
+}
+
+// WithSharedStream attaches the source to a shared physical stream: instead
+// of simulating its own wrapper, it replays sh's production schedule into
+// its queue under this query's own credit window. The attach is refcounted
+// on sh; Detach releases it.
+func WithSharedStream(sh *Shared) Option {
+	return func(s *Source) { s.shared = sh }
+}
+
 // New creates a source delivering the given table into q. netTime is the
 // per-tuple network transit time. The source immediately pumps tuples into
 // the queue (production starts at virtual time zero, when the mediator sends
@@ -166,24 +188,8 @@ func New(name string, table *relation.Table, q *comm.Queue, rng *sim.RNG, netTim
 	for _, o := range opts {
 		o(s)
 	}
-	if len(s.phases) == 0 {
-		return nil, fmt.Errorf("source %q: empty waiting-time schedule (need at least one phase)", name)
-	}
-	if s.phases[0].FromRow != 0 {
-		return nil, fmt.Errorf("source %q: waiting-time schedule must start at row 0", name)
-	}
-	for i := 1; i < len(s.phases); i++ {
-		if s.phases[i].FromRow <= s.phases[i-1].FromRow {
-			return nil, fmt.Errorf("source %q: phase rows must be strictly increasing", name)
-		}
-	}
-	for _, ph := range s.phases {
-		if ph.W < 0 {
-			return nil, fmt.Errorf("source %q: negative waiting time %v", name, ph.W)
-		}
-	}
-	if s.initialDelay < 0 {
-		return nil, fmt.Errorf("source %q: negative initial delay", name)
+	if err := validateSchedule(s); err != nil {
+		return nil, err
 	}
 	for i := 1; i < len(s.faults); i++ {
 		if s.faults[i].Row < s.faults[i-1].Row {
@@ -192,6 +198,18 @@ func New(name string, table *relation.Table, q *comm.Queue, rng *sim.RNG, netTim
 	}
 	if len(s.faults) > 0 && s.frng == nil {
 		return nil, fmt.Errorf("source %q: fault script without an RNG", name)
+	}
+	if s.shared != nil {
+		if len(s.faults) > 0 {
+			return nil, fmt.Errorf("source %q: fault scripts cannot ride a shared stream", name)
+		}
+		if s.standby {
+			return nil, fmt.Errorf("source %q: a standby replica cannot tap a shared stream", name)
+		}
+		if n := s.shared.Rows(); n != len(s.rows) {
+			return nil, fmt.Errorf("source %q: shared stream carries %d rows, table has %d", name, n, len(s.rows))
+		}
+		s.shared.attach()
 	}
 	if s.colMode {
 		for _, c := range s.keep {
@@ -210,7 +228,7 @@ func New(name string, table *relation.Table, q *comm.Queue, rng *sim.RNG, netTim
 	s.stageAt = make([]time.Duration, 0, q.Capacity())
 	if !s.standby {
 		q.SetProducer(s)
-		s.pump(0)
+		s.pump(s.startAt)
 	}
 	return s, nil
 }
@@ -331,7 +349,7 @@ func (s *Source) Resume(now time.Duration) { s.pump(now) }
 // tuples count against the window while staging, keeping the suspension
 // point identical to the push-per-tuple loop.
 func (s *Source) pump(floor time.Duration) {
-	if s.dead {
+	if s.dead || s.detached {
 		return
 	}
 	staged := 0
@@ -353,16 +371,24 @@ func (s *Source) pump(floor time.Duration) {
 			break
 		}
 		if !s.producing {
-			w := s.effectiveWait(s.next)
-			d := s.rng.UniformDelay(w)
-			if s.next == s.firstRow {
-				d += s.initialDelay
+			if s.shared != nil {
+				// Tap on a shared stream: the physical wrapper produced this
+				// row at the schedule's instant (possibly before this query
+				// attached — the prefix replays from the stream's cache, never
+				// earlier than the attach time recorded in startAt).
+				s.readyAt = s.shared.sendAt[s.next]
+			} else {
+				w := s.effectiveWait(s.next)
+				d := s.rng.UniformDelay(w)
+				if s.next == s.firstRow {
+					d += s.initialDelay
+				}
+				if s.fidx < len(s.faults) && s.faults[s.fidx].Row == s.next && s.faults[s.fidx].Kind == fault.Stall {
+					d += s.faults[s.fidx].Down
+					s.fidx++
+				}
+				s.readyAt = s.startAt + d
 			}
-			if s.fidx < len(s.faults) && s.faults[s.fidx].Row == s.next && s.faults[s.fidx].Kind == fault.Stall {
-				d += s.faults[s.fidx].Down
-				s.fidx++
-			}
-			s.readyAt = s.startAt + d
 			s.producing = true
 		}
 		if s.q.Len()+s.q.Debt()+staged == s.q.Capacity() {
